@@ -1,0 +1,22 @@
+//! The all-atom (fine) scale: an AMBER-like MD surrogate.
+//!
+//! The campaign's AA scale runs "the AMBER MD simulation package … one GPU
+//! allocated to each simulation", averaging 1.575 M atoms, 13.98 ns/day per
+//! GPU, one 18 MB frame every 10.3 minutes (§4.1(5)). The AA→CG feedback
+//! computes "the secondary structures of the proteins … from AA frames" to
+//! progressively refine the CG force-field parameters (§4.1(7)).
+//!
+//! This crate reuses the generic Langevin engine from [`cg::engine`] at
+//! finer granularity and adds the AA-specific pieces:
+//!
+//! - [`AaSystem`] — an atomistic system with residue bookkeeping (each CG
+//!   bead backmaps to one residue of several atoms);
+//! - [`ss`] — secondary-structure assignment from backbone pseudo-dihedrals
+//!   (helix / sheet / coil), the consensus operator the feedback uses, and
+//!   the compact [`AaFrame`] record.
+
+pub mod ss;
+mod system;
+
+pub use ss::{assign_ss, consensus, AaFrame, SsClass};
+pub use system::AaSystem;

@@ -1,0 +1,171 @@
+//! Atomistic systems over the shared MD engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cg::engine::{ForceField, Integrator, MdSystem};
+
+/// An all-atom system: the particle engine plus residue bookkeeping.
+///
+/// Atom types follow the source CG system's bead types (so the force-field
+/// table carries over), and each residue groups the atoms backmapped from
+/// one CG bead. `backbone[i]` is the representative (Cα-like) atom of
+/// residue `i`, used for secondary-structure analysis.
+#[derive(Debug, Clone)]
+pub struct AaSystem {
+    /// The particle system.
+    pub sys: MdSystem,
+    /// Force field (finer parameters than the CG source).
+    pub ff: ForceField,
+    /// Atom indices per residue.
+    pub residues: Vec<Vec<usize>>,
+    /// Representative backbone atom per protein residue.
+    pub backbone: Vec<usize>,
+    /// Integrator defaults (smaller dt than CG).
+    pub integrator: Integrator,
+    rng: StdRng,
+}
+
+impl AaSystem {
+    /// Assembles an AA system from parts (used by the backmapper).
+    ///
+    /// # Panics
+    /// Panics when a residue or backbone index is out of range.
+    pub fn from_parts(
+        sys: MdSystem,
+        ff: ForceField,
+        residues: Vec<Vec<usize>>,
+        backbone: Vec<usize>,
+        seed: u64,
+    ) -> AaSystem {
+        let n = sys.len();
+        assert!(
+            residues.iter().flatten().all(|&i| i < n),
+            "residue atom index out of range"
+        );
+        assert!(
+            backbone.iter().all(|&i| i < n),
+            "backbone index out of range"
+        );
+        AaSystem {
+            sys,
+            ff,
+            residues,
+            backbone,
+            integrator: Integrator {
+                dt: 0.002,
+                gamma: 2.0,
+                kt: 0.25,
+            },
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.sys.len()
+    }
+
+    /// Number of residues.
+    pub fn n_residues(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Advances `n` Langevin steps.
+    pub fn run(&mut self, n: u64) {
+        let ig = self.integrator;
+        let ff = self.ff.clone();
+        self.sys.run(&ff, &ig, &mut self.rng, n);
+    }
+
+    /// Restrained minimization cycle: bonds are stiffened by `restraint`
+    /// while minimizing, mirroring the backmapping workflow's "cycles of
+    /// energy minimization and position-restrained MD".
+    pub fn minimize_restrained(&mut self, steps: usize, restraint: f64) -> (f64, f64) {
+        let mut ff = self.ff.clone();
+        for b in &mut ff.bonds {
+            b.2 *= restraint.max(1.0);
+        }
+        self.sys.minimize(&ff, steps, 0.02)
+    }
+
+    /// Backbone positions (for secondary-structure analysis).
+    pub fn backbone_positions(&self) -> Vec<[f64; 3]> {
+        self.backbone.iter().map(|&i| self.sys.pos[i]).collect()
+    }
+
+    /// Simulated time.
+    pub fn time(&self) -> f64 {
+        self.sys.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg::engine::PairTable;
+
+    fn toy() -> AaSystem {
+        // 4 residues × 3 atoms along x.
+        let mut pos = Vec::new();
+        let mut residues = Vec::new();
+        let mut backbone = Vec::new();
+        let mut bonds = Vec::new();
+        for r in 0..4 {
+            let base = pos.len();
+            for a in 0..3 {
+                pos.push([r as f64 + 0.1 * a as f64, 5.0, 5.0]);
+                if a > 0 {
+                    bonds.push((base as u32 + a - 1, base as u32 + a, 30.0, 0.1));
+                }
+            }
+            residues.push(vec![base, base + 1, base + 2]);
+            backbone.push(base);
+            if r > 0 {
+                bonds.push(((base - 3) as u32, base as u32, 30.0, 1.0));
+            }
+        }
+        let n = pos.len();
+        let sys = MdSystem::new(pos, vec![0; n], [20.0, 20.0, 20.0]);
+        let ff = ForceField {
+            pairs: PairTable::uniform(1, 0.1, 0.01),
+            cutoff: 1.0,
+            bonds,
+        };
+        AaSystem::from_parts(sys, ff, residues, backbone, 5)
+    }
+
+    #[test]
+    fn bookkeeping_is_consistent() {
+        let s = toy();
+        assert_eq!(s.n_atoms(), 12);
+        assert_eq!(s.n_residues(), 4);
+        assert_eq!(s.backbone_positions().len(), 4);
+    }
+
+    #[test]
+    fn restrained_minimization_decreases_energy() {
+        let mut s = toy();
+        // Perturb positions to create strain.
+        for p in &mut s.sys.pos {
+            p[0] += 0.3;
+            p[1] -= 0.2;
+        }
+        let (e0, e1) = s.minimize_restrained(100, 5.0);
+        assert!(e1 <= e0);
+    }
+
+    #[test]
+    fn dynamics_advance_time() {
+        let mut s = toy();
+        s.run(50);
+        assert!((s.time() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_backbone_index_panics() {
+        let s = toy();
+        let _ = AaSystem::from_parts(s.sys, s.ff, s.residues, vec![999], 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the physics substrates: per-step cost of
+//! the DDFT continuum solver and the CG/AA particle engines at a few
+//! sizes. These anchor the campaign performance models to the real code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cg::system::{build_membrane, MembraneConfig};
+use continuum::{ContinuumConfig, ContinuumSim};
+use mapping::{backmap, BackmapConfig};
+
+fn bench_continuum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("continuum_step");
+    for &(nx, species) in &[(96usize, 3usize), (192, 14)] {
+        g.bench_with_input(
+            BenchmarkId::new("ddft", format!("{nx}x{nx}x{species}")),
+            &(nx, species),
+            |b, &(nx, species)| {
+                let mut sim = ContinuumSim::new(ContinuumConfig {
+                    nx,
+                    ny: nx,
+                    inner_species: species.saturating_sub(6).max(1),
+                    outer_species: species.min(6),
+                    ..ContinuumConfig::laptop()
+                });
+                b.iter(|| sim.step_once());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md_step");
+    for &lipids in &[16usize, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("cg_langevin", lipids * 3 * 2 * 2 + 6),
+            &lipids,
+            |b, &lipids| {
+                let mut m = build_membrane(&MembraneConfig {
+                    lipids_per_species: lipids,
+                    ..MembraneConfig::small()
+                });
+                m.relax(20);
+                b.iter(|| m.run(1));
+            },
+        );
+    }
+    g.bench_function("aa_langevin_backmapped", |b| {
+        let mut m = build_membrane(&MembraneConfig::small());
+        m.relax(20);
+        let (mut aa, _) = backmap(&m, &BackmapConfig::default());
+        b.iter(|| aa.run(1));
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_continuum, bench_md
+}
+criterion_main!(benches);

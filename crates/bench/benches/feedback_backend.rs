@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks behind the ≥12× feedback speedup: one
+//! CG→continuum feedback iteration over each data-store backend, same
+//! frames, same aggregation code (in-process costs only; the bin
+//! `feedback_speedup` adds the modeled GPFS/interconnect latencies).
+
+use cg::analysis::CgFrame;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datastore::{DataStore, FsStore, KvDataStore, TarStore};
+use mummi_core::{CgToContinuumFeedback, FeedbackManager};
+
+fn frame(i: usize) -> CgFrame {
+    CgFrame {
+        id: format!("sim{}:f{i}", i % 360),
+        time: i as f64,
+        encoding: [0.1, 0.5, 0.9],
+        rdfs: vec![vec![1.5; 64]; 4],
+    }
+}
+
+fn fill(store: &mut dyn DataStore, n: usize) {
+    for i in 0..n {
+        let f = frame(i);
+        store
+            .write(mummi_core::ns::RDF_NEW, &f.id, &f.encode())
+            .expect("write");
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let n = 500usize;
+    let mut g = c.benchmark_group("feedback_backend");
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_with_input(BenchmarkId::new("redis", n), &n, |b, &n| {
+        b.iter_batched(
+            || {
+                let mut store = KvDataStore::new(20);
+                fill(&mut store, n);
+                store
+            },
+            |mut store| {
+                let mut fb = CgToContinuumFeedback::new(4);
+                let out = fb.iterate(&mut store).expect("iterate");
+                assert_eq!(out.processed, n);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_with_input(BenchmarkId::new("filesystem", n), &n, |b, &n| {
+        let dir = std::env::temp_dir().join(format!("fbb-fs-{}", std::process::id()));
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut store = FsStore::open(&dir).expect("open");
+                fill(&mut store, n);
+                store
+            },
+            |mut store| {
+                let mut fb = CgToContinuumFeedback::new(4);
+                let out = fb.iterate(&mut store).expect("iterate");
+                assert_eq!(out.processed, n);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_with_input(BenchmarkId::new("taridx", n), &n, |b, &n| {
+        let dir = std::env::temp_dir().join(format!("fbb-tar-{}", std::process::id()));
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_dir_all(&dir);
+                let mut store = TarStore::open(&dir).expect("open");
+                fill(&mut store, n);
+                store
+            },
+            |mut store| {
+                let mut fb = CgToContinuumFeedback::new(4);
+                let out = fb.iterate(&mut store).expect("iterate");
+                assert_eq!(out.processed, n);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_backends
+}
+criterion_main!(benches);

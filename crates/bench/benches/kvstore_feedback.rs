@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks behind Figure 7: the three feedback query
+//! types against the 20-shard cluster.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kvstore::{Client, Cluster};
+
+fn populated(n: u64) -> (Client, Vec<String>) {
+    let client = Client::new(Cluster::new(20));
+    let payload = Bytes::from(vec![0u8; 17 * 1024]);
+    let pairs: Vec<(String, Bytes)> = (0..n)
+        .map(|i| (format!("rdf:new:{{s{}}}:f{i}", i % 3600), payload.clone()))
+        .collect();
+    client.mset(&pairs);
+    let keys = pairs.into_iter().map(|(k, _)| k).collect();
+    (client, keys)
+}
+
+fn bench_feedback_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore_feedback");
+    for &n in &[10_000u64, 40_000] {
+        g.throughput(Throughput::Elements(n));
+        let (client, keys) = populated(n);
+        g.bench_with_input(BenchmarkId::new("retrieve_keys", n), &n, |b, _| {
+            b.iter(|| {
+                let found = client.keys("rdf:new:*");
+                assert_eq!(found.len() as u64, n);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("retrieve_values", n), &n, |b, _| {
+            b.iter(|| {
+                let vals = client.mget(&keys);
+                assert_eq!(vals.len() as u64, n);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rename_pairs", n), &n, |b, _| {
+            // Rename (tagging) round trip so state is restored per iter.
+            b.iter(|| {
+                for k in &keys {
+                    let done = k.replace("rdf:new", "rdf:done");
+                    client.rename(k, &done).expect("rename");
+                    client.rename(&done, k).expect("rename back");
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_feedback_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks behind the matcher ablation (§5.2): cost of
+//! one placement under the exhaustive low-ID policy vs first-match, as a
+//! function of resource-graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
+
+fn bench_match_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_match");
+    for &nodes in &[1000u32, 4000] {
+        for (name, policy) in [
+            ("low_id_exhaustive", MatchPolicy::LowIdExhaustive),
+            ("first_match", MatchPolicy::FirstMatch),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, nodes),
+                &nodes,
+                |b, &nodes| {
+                    let mut graph = ResourceGraph::new(MachineSpec::summit_allocation(nodes));
+                    b.iter(|| {
+                        let alloc = graph
+                            .try_alloc(&JobShape::sim_standard(), policy)
+                            .expect("fits");
+                        graph.release(&alloc);
+                    })
+                },
+            );
+        }
+    }
+    // Matching into a nearly-full graph (the late-load regime).
+    g.bench_function("first_match_nearly_full_1000", |b| {
+        let mut graph = ResourceGraph::new(MachineSpec::summit_allocation(1000));
+        // Fill all but the last node.
+        for _ in 0..(999 * 6) {
+            graph.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch);
+        }
+        b.iter(|| {
+            let alloc = graph
+                .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+                .expect("one node left");
+            graph.release(&alloc);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_match_policies
+}
+criterion_main!(benches);

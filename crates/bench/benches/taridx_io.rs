@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks behind the taridx numbers (§5.2): append and
+//! random-access read throughput at the campaign's ~156 KB member size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use taridx::IndexedTar;
+
+fn bench_taridx(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("taridx-crit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let member = vec![42u8; 156 * 1024];
+
+    let mut g = c.benchmark_group("taridx_io");
+    g.throughput(Throughput::Bytes(member.len() as u64));
+
+    g.bench_function("append_156k", |b| {
+        let mut tar = IndexedTar::create(dir.join("append.tar")).expect("create");
+        let mut i = 0u64;
+        b.iter(|| {
+            tar.append(&format!("m{i}"), &member).expect("append");
+            i += 1;
+        });
+    });
+
+    g.bench_function("random_read_156k", |b| {
+        let path = dir.join("read.tar");
+        let mut tar = IndexedTar::create(&path).expect("create");
+        let n = 500;
+        for i in 0..n {
+            tar.append(&format!("m{i}"), &member).expect("append");
+        }
+        let mut keys: Vec<String> = (0..n).map(|i| format!("m{i}")).collect();
+        keys.shuffle(&mut rand::rngs::StdRng::seed_from_u64(1));
+        let mut it = keys.iter().cycle();
+        b.iter(|| {
+            let k = it.next().expect("cycle");
+            let data = tar.read(k).expect("read");
+            assert_eq!(data.len(), member.len());
+        });
+    });
+
+    g.bench_function("recover_index_500_members", |b| {
+        let path = dir.join("recover.tar");
+        let mut tar = IndexedTar::create(&path).expect("create");
+        for i in 0..500 {
+            tar.append(&format!("m{i}"), &member[..1024]).expect("append");
+        }
+        b.iter(|| {
+            tar.recover_index().expect("recover");
+            assert_eq!(tar.len(), 500);
+        });
+    });
+
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_taridx
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `EXPERIMENTS.md` at the repository root for the index), and
+//! prints the series as plain text tables so the output can be diffed,
+//! plotted, or pasted next to the original.
+
+use simcore::Histogram;
+
+/// Prints a two-column header followed by rows.
+pub fn print_series(title: &str, xlabel: &str, ylabel: &str, rows: &[(f64, f64)]) {
+    println!("## {title}");
+    println!("{xlabel}\t{ylabel}");
+    for (x, y) in rows {
+        println!("{x:.6}\t{y:.6}");
+    }
+    println!();
+}
+
+/// Prints a histogram as `(bin_center, count)` rows plus an ASCII sketch.
+pub fn print_histogram(title: &str, xlabel: &str, h: &Histogram) {
+    println!("## {title}");
+    println!("{xlabel}\tcount");
+    for (x, c) in h.rows() {
+        println!("{x:.4}\t{c}");
+    }
+    println!("{}", h.ascii(48));
+}
+
+/// Formats a big integer with thousands separators.
+pub fn group_digits(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(1), "1");
+        assert_eq!(group_digits(1034), "1,034");
+        assert_eq!(group_digits(1_034_232_900), "1,034,232,900");
+    }
+}

@@ -1,0 +1,143 @@
+//! AA→CG feedback timing model (Figure 8).
+//!
+//! "Each AA frame is processed for ∽2 s through subprocess calls to an
+//! external program … the feedback process was split into different phases
+//! for performance optimization, and suitable process pools and localized
+//! temporary files were used" (§5.2). The model: every iteration gathers
+//! the frames produced since the last one (∝ running AA simulations),
+//! processes them on a worker pool at ~2 s/frame plus per-frame subprocess
+//! overhead, with multiplicative HPC performance variability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use simcore::SimDuration;
+
+/// One feedback iteration's record: the (x, y) point of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iteration {
+    /// Frames processed in this iteration.
+    pub frames: u64,
+    /// Wall time of the iteration.
+    pub duration: SimDuration,
+}
+
+/// The timing model.
+#[derive(Debug, Clone)]
+pub struct FeedbackTimingModel {
+    /// Seconds of pure processing per frame (paper: ~2 s).
+    pub secs_per_frame: f64,
+    /// Extra per-frame overhead from spawning the external process.
+    pub overhead_per_frame: f64,
+    /// Worker-pool width (frames processed concurrently).
+    pub pool_size: u64,
+    /// Fixed setup/teardown per iteration (gathering, reporting), seconds.
+    pub fixed_secs: f64,
+    /// Sigma of the lognormal performance-variability multiplier.
+    pub variability: f64,
+    rng: StdRng,
+}
+
+impl FeedbackTimingModel {
+    /// The campaign's configuration: 2 s/frame + 0.8 s spawn overhead over
+    /// an 8-wide pool, 60 s fixed cost, moderate variability — calibrated
+    /// so the 10-minute target is crossed near 1600 frames, as observed.
+    pub fn campaign(seed: u64) -> FeedbackTimingModel {
+        FeedbackTimingModel {
+            secs_per_frame: 2.0,
+            overhead_per_frame: 0.8,
+            pool_size: 8,
+            fixed_secs: 60.0,
+            variability: 0.18,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Simulates one iteration over `frames` frames.
+    pub fn iterate(&mut self, frames: u64) -> Iteration {
+        let work = frames as f64 * (self.secs_per_frame + self.overhead_per_frame);
+        let ideal = self.fixed_secs + work / self.pool_size as f64;
+        let jitter = LogNormal::new(0.0, self.variability)
+            .expect("valid lognormal")
+            .sample(&mut self.rng);
+        Iteration {
+            frames,
+            duration: SimDuration::from_secs_f64(ideal * jitter),
+        }
+    }
+
+    /// Simulates a whole campaign's worth of iterations: `n` iterations
+    /// with frame counts sampled around `mean_frames` (plus a heavy-tailed
+    /// burst now and then — the paper's early-termination backlog).
+    pub fn series(&mut self, n: usize, mean_frames: f64) -> Vec<Iteration> {
+        (0..n)
+            .map(|_| {
+                let burst = self.rng.gen_bool(0.01);
+                let lambda = if burst { mean_frames * 4.0 } else { mean_frames };
+                // Poisson-ish sample via normal approximation, clamped.
+                let frames = (lambda + self.rng.gen_range(-1.0..1.0) * lambda.sqrt() * 2.0)
+                    .max(0.0) as u64;
+                self.iterate(frames)
+            })
+            .collect()
+    }
+
+    /// Fraction of iterations finishing within `limit`.
+    pub fn fraction_within(iterations: &[Iteration], limit: SimDuration) -> f64 {
+        if iterations.is_empty() {
+            return 0.0;
+        }
+        iterations.iter().filter(|i| i.duration <= limit).count() as f64
+            / iterations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processing_time_is_linear_in_frames() {
+        let mut m = FeedbackTimingModel::campaign(1);
+        m.variability = 1e-9; // disable jitter for the linearity check
+        let t500 = m.iterate(500).duration.as_secs_f64();
+        let t5000 = m.iterate(5000).duration.as_secs_f64();
+        let slope = (t5000 - t500) / 4500.0;
+        let expected = 2.8 / 8.0;
+        assert!(
+            (slope - expected).abs() < 1e-3,
+            "slope {slope} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn most_iterations_fit_in_ten_minutes() {
+        // The paper: "more than 97% of the feedback iterations finished
+        // within 10 minutes". At the typical load (2400 AA sims → ~600-800
+        // frames eligible per iteration) the model must reproduce that.
+        let mut m = FeedbackTimingModel::campaign(2);
+        let iters = m.series(2000, 700.0);
+        let frac = FeedbackTimingModel::fraction_within(&iters, SimDuration::from_mins(10));
+        assert!(frac > 0.97, "fraction within 10 min: {frac}");
+        // But not trivially 100%: the bursts blow the budget.
+        assert!(frac < 1.0, "bursts should exist: {frac}");
+    }
+
+    #[test]
+    fn large_iterations_exceed_the_target_linearly() {
+        let mut m = FeedbackTimingModel::campaign(3);
+        m.variability = 1e-9;
+        // Beyond ~1600 frames the paper misses the 10-minute target.
+        let t = m.iterate(1700).duration;
+        assert!(t > SimDuration::from_mins(10), "1700 frames: {t}");
+        let t = m.iterate(1000).duration;
+        assert!(t < SimDuration::from_mins(10), "1000 frames: {t}");
+    }
+
+    #[test]
+    fn series_is_deterministic_per_seed() {
+        let a = FeedbackTimingModel::campaign(7).series(100, 500.0);
+        let b = FeedbackTimingModel::campaign(7).series(100, 500.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-scale simulation performance models (Figure 4).
+//!
+//! Calibration points from §4.1 and §5.1:
+//!
+//! - continuum: "Using a total of 3600 MPI ranks … GridSim2D can simulate
+//!   ∽0.96 ms per day of walltime", with lower modes for the 100- and
+//!   500-node allocations;
+//! - CG: "ddcMD delivers ∽1.04 µs of MD trajectories per day per GPU" at
+//!   ∽140 K particles, and "about one third into the simulation … ddcMD
+//!   was compiled with an incompatible version of MPI, causing it to
+//!   deliver almost 20% less than the benchmark";
+//! - AA: "the simulations generate almost 13.98 ns per day per GPU" at
+//!   ∽1.575 M atoms.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// Continuum throughput (ms of simulated time per day of walltime).
+#[derive(Debug, Clone, Copy)]
+pub struct ContinuumPerf {
+    /// Reference cores (3600 on the campaign).
+    pub ref_cores: u64,
+    /// Throughput at the reference core count (ms/day).
+    pub ref_ms_per_day: f64,
+    /// Relative per-sample noise.
+    pub noise: f64,
+}
+
+impl Default for ContinuumPerf {
+    fn default() -> Self {
+        ContinuumPerf {
+            ref_cores: 3600,
+            ref_ms_per_day: 0.96,
+            noise: 0.03,
+        }
+    }
+}
+
+impl ContinuumPerf {
+    /// Mean throughput at `cores` cores: sub-linear strong scaling
+    /// (exponent 0.85) off the reference point.
+    pub fn mean_ms_per_day(&self, cores: u64) -> f64 {
+        let ratio = cores as f64 / self.ref_cores as f64;
+        self.ref_ms_per_day * ratio.powf(0.85)
+    }
+
+    /// Samples one frame-interval's observed throughput.
+    pub fn sample(&self, cores: u64, rng: &mut StdRng) -> f64 {
+        let mean = self.mean_ms_per_day(cores);
+        let dist = Normal::new(mean, mean * self.noise).expect("valid normal");
+        dist.sample(rng).max(mean * 0.5)
+    }
+}
+
+/// CG throughput (µs of trajectory per day per GPU) vs system size.
+#[derive(Debug, Clone, Copy)]
+pub struct CgPerf {
+    /// Reference particle count.
+    pub ref_particles: f64,
+    /// Throughput at the reference size (µs/day/GPU).
+    pub ref_us_per_day: f64,
+    /// Relative noise around the mean.
+    pub noise: f64,
+    /// Throughput multiplier during the bad-MPI episode (~0.8).
+    pub mpi_bug_factor: f64,
+    /// Fraction of the campaign affected by the episode (first third).
+    pub mpi_bug_until: f64,
+    /// Probability of a straggler (heavy slow-down tail).
+    pub straggler_prob: f64,
+}
+
+impl Default for CgPerf {
+    fn default() -> Self {
+        CgPerf {
+            ref_particles: 140_000.0,
+            ref_us_per_day: 1.04,
+            noise: 0.02,
+            mpi_bug_factor: 0.8,
+            mpi_bug_until: 1.0 / 3.0,
+            straggler_prob: 0.01,
+        }
+    }
+}
+
+impl CgPerf {
+    /// Samples a system size (particles), normally distributed around the
+    /// reference (the paper's Figure 4 x-axis spans ~134–139 K).
+    pub fn sample_size(&self, rng: &mut StdRng) -> f64 {
+        let dist = Normal::new(self.ref_particles, 1200.0).expect("valid normal");
+        dist.sample(rng).max(self.ref_particles * 0.9)
+    }
+
+    /// Samples a simulation's throughput given its size and the campaign
+    /// progress fraction in [0, 1] (for the MPI-bug episode).
+    pub fn sample(&self, particles: f64, progress: f64, rng: &mut StdRng) -> f64 {
+        // Cost grows with size: throughput ∝ 1/particles.
+        let mut mean = self.ref_us_per_day * self.ref_particles / particles.max(1.0);
+        if progress < self.mpi_bug_until {
+            mean *= self.mpi_bug_factor;
+        }
+        let base = Normal::new(mean, mean * self.noise)
+            .expect("valid normal")
+            .sample(rng);
+        if rng.gen_bool(self.straggler_prob) {
+            // "the slowest runs showed significant slow down"
+            let slow = LogNormal::new(0.0f64, 0.5).expect("valid lognormal").sample(rng);
+            (base / (1.0 + slow)).max(mean * 0.2)
+        } else {
+            base.max(mean * 0.5)
+        }
+    }
+}
+
+/// AA throughput (ns/day/GPU) vs atom count.
+#[derive(Debug, Clone, Copy)]
+pub struct AaPerf {
+    /// Reference atom count.
+    pub ref_atoms: f64,
+    /// Throughput at the reference size (ns/day/GPU).
+    pub ref_ns_per_day: f64,
+    /// Relative noise.
+    pub noise: f64,
+    /// Straggler probability.
+    pub straggler_prob: f64,
+}
+
+impl Default for AaPerf {
+    fn default() -> Self {
+        AaPerf {
+            ref_atoms: 1_575_000.0,
+            ref_ns_per_day: 13.98,
+            noise: 0.015,
+            straggler_prob: 0.01,
+        }
+    }
+}
+
+impl AaPerf {
+    /// Samples an AA system size (atoms).
+    pub fn sample_size(&self, rng: &mut StdRng) -> f64 {
+        Normal::new(self.ref_atoms, 12_000.0)
+            .expect("valid normal")
+            .sample(rng)
+            .max(self.ref_atoms * 0.9)
+    }
+
+    /// Samples a simulation's throughput given its size.
+    pub fn sample(&self, atoms: f64, rng: &mut StdRng) -> f64 {
+        let mean = self.ref_ns_per_day * self.ref_atoms / atoms.max(1.0);
+        let base = Normal::new(mean, mean * self.noise)
+            .expect("valid normal")
+            .sample(rng);
+        if rng.gen_bool(self.straggler_prob) {
+            (base * 0.85).max(mean * 0.5)
+        } else {
+            base.max(mean * 0.5)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn continuum_hits_reference_point() {
+        let p = ContinuumPerf::default();
+        assert!((p.mean_ms_per_day(3600) - 0.96).abs() < 1e-12);
+        assert!(p.mean_ms_per_day(2400) < 0.96);
+        assert!(p.mean_ms_per_day(2400) > 0.5);
+    }
+
+    #[test]
+    fn continuum_samples_cluster_around_mean() {
+        let p = ContinuumPerf::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..2000).map(|_| p.sample(3600, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.96).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn cg_mpi_episode_slows_early_campaign() {
+        let p = CgPerf::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let early: f64 = (0..500)
+            .map(|_| p.sample(140_000.0, 0.1, &mut rng))
+            .sum::<f64>()
+            / 500.0;
+        let late: f64 = (0..500)
+            .map(|_| p.sample(140_000.0, 0.9, &mut rng))
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            early < late * 0.9,
+            "early {early} should be ~20% below late {late}"
+        );
+        assert!((late - 1.04).abs() < 0.05);
+    }
+
+    #[test]
+    fn cg_throughput_decreases_with_size() {
+        let p = CgPerf::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let small: f64 = (0..200).map(|_| p.sample(134_000.0, 0.9, &mut rng)).sum();
+        let large: f64 = (0..200).map(|_| p.sample(139_000.0, 0.9, &mut rng)).sum();
+        assert!(small > large);
+    }
+
+    #[test]
+    fn aa_matches_benchmark() {
+        let p = AaPerf::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..1000)
+            .map(|_| {
+                let atoms = p.sample_size(&mut rng);
+                p.sample(atoms, &mut rng)
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 13.98).abs() < 0.3, "mean {mean}");
+        assert!(samples.iter().all(|&v| v > 5.0 && v < 20.0));
+    }
+
+    #[test]
+    fn sizes_are_positive_and_near_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cg = CgPerf::default();
+        let aa = AaPerf::default();
+        for _ in 0..100 {
+            let s = cg.sample_size(&mut rng);
+            assert!((126_000.0..155_000.0).contains(&s));
+            let a = aa.sample_size(&mut rng);
+            assert!((1_400_000.0..1_700_000.0).contains(&a));
+        }
+    }
+}

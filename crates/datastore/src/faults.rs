@@ -1,0 +1,190 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! The paper stresses that MuMMI "can be restored completely after any such
+//! crash without much loss of data". [`FailingStore`] wraps any backend and
+//! fails operations on a deterministic schedule so tests can exercise the
+//! retry/armoring and producer/consumer wait paths.
+
+use crate::store::{BackendKind, DataStore};
+use crate::{DataError, Result};
+
+/// Which operations the injector can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `write` calls.
+    Write,
+    /// `read` calls.
+    Read,
+    /// `move_ns` calls.
+    MoveNs,
+    /// `delete` calls.
+    Delete,
+    /// `flush` calls.
+    Flush,
+}
+
+/// A wrapper that fails every `period`-th call of the targeted operation.
+///
+/// With `period == 3`, calls 3, 6, 9, … fail. A `period` of 0 disables
+/// injection. Counting is per-operation-kind and deterministic.
+#[derive(Debug)]
+pub struct FailingStore<S> {
+    inner: S,
+    target: Op,
+    period: u64,
+    counts: [u64; 5],
+    injected: u64,
+}
+
+impl<S: DataStore> FailingStore<S> {
+    /// Wraps `inner`, failing every `period`-th `target` operation.
+    pub fn new(inner: S, target: Op, period: u64) -> FailingStore<S> {
+        FailingStore {
+            inner,
+            target,
+            period,
+            counts: [0; 5],
+            injected: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Consumes the wrapper, returning the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Direct access to the wrapped store.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    fn should_fail(&mut self, op: Op) -> bool {
+        if op != self.target || self.period == 0 {
+            return false;
+        }
+        let slot = op as usize;
+        self.counts[slot] += 1;
+        if self.counts[slot].is_multiple_of(self.period) {
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fault(op: Op) -> DataError {
+        DataError::Injected(format!("scheduled fault on {op:?}"))
+    }
+}
+
+impl<S: DataStore> DataStore for FailingStore<S> {
+    fn kind(&self) -> BackendKind {
+        self.inner.kind()
+    }
+
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
+        if self.should_fail(Op::Write) {
+            return Err(Self::fault(Op::Write));
+        }
+        self.inner.write(ns, key, data)
+    }
+
+    fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
+        if self.should_fail(Op::Read) {
+            return Err(Self::fault(Op::Read));
+        }
+        self.inner.read(ns, key)
+    }
+
+    fn exists(&mut self, ns: &str, key: &str) -> bool {
+        self.inner.exists(ns, key)
+    }
+
+    fn list(&mut self, ns: &str) -> Result<Vec<String>> {
+        self.inner.list(ns)
+    }
+
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()> {
+        if self.should_fail(Op::MoveNs) {
+            return Err(Self::fault(Op::MoveNs));
+        }
+        self.inner.move_ns(key, from, to)
+    }
+
+    fn delete(&mut self, ns: &str, key: &str) -> Result<bool> {
+        if self.should_fail(Op::Delete) {
+            return Err(Self::fault(Op::Delete));
+        }
+        self.inner.delete(ns, key)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.should_fail(Op::Flush) {
+            return Err(Self::fault(Op::Flush));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvDataStore;
+
+    #[test]
+    fn fails_on_schedule() {
+        let mut s = FailingStore::new(KvDataStore::new(2), Op::Write, 3);
+        let mut results = Vec::new();
+        for i in 0..9 {
+            results.push(s.write("ns", &format!("k{i}"), b"v").is_ok());
+        }
+        assert_eq!(
+            results,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(s.injected(), 3);
+    }
+
+    #[test]
+    fn zero_period_never_fails() {
+        let mut s = FailingStore::new(KvDataStore::new(2), Op::Write, 0);
+        for i in 0..10 {
+            assert!(s.write("ns", &format!("k{i}"), b"v").is_ok());
+        }
+        assert_eq!(s.injected(), 0);
+    }
+
+    #[test]
+    fn only_targeted_op_fails() {
+        let mut s = FailingStore::new(KvDataStore::new(2), Op::Read, 1);
+        assert!(s.write("ns", "k", b"v").is_ok());
+        assert!(matches!(s.read("ns", "k"), Err(DataError::Injected(_))));
+        // Untargeted ops pass through.
+        assert!(s.delete("ns", "k").is_ok());
+    }
+
+    #[test]
+    fn retry_after_fault_succeeds() {
+        // Period 2: every second read fails; a retry loop makes progress.
+        let mut s = FailingStore::new(KvDataStore::new(2), Op::Read, 2);
+        s.write("ns", "k", b"v").unwrap();
+        // Advance the schedule so the loop's first attempt is the failing one.
+        assert!(s.read("ns", "k").is_ok());
+        let mut attempts = 0;
+        let val = loop {
+            attempts += 1;
+            match s.read("ns", "k") {
+                Ok(v) => break v,
+                Err(DataError::Injected(_)) if attempts < 5 => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(val, b"v");
+        assert!(attempts >= 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Filesystem backend with I/O armoring.
+//!
+//! "The simplest data interface accesses the filesystem directly … Where
+//! needed, I/O armoring and redundancy is used to guard against filesystem
+//! failures, e.g., backups of checkpoint files and retrials if
+//! reading/writing fails" (§4.2).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::store::{BackendKind, DataStore};
+use crate::{DataError, Result};
+
+/// Direct-filesystem store: `root/<ns>/<key>` files.
+///
+/// Writes are armored: data goes to a `.tmp` file that is renamed into
+/// place (atomic on POSIX), with up to `retries` attempts per operation.
+/// With [`FsStore::with_backups`], each overwrite first preserves the old
+/// value as `<key>.bak` — the paper's checkpoint-backup redundancy.
+#[derive(Debug)]
+pub struct FsStore {
+    root: PathBuf,
+    retries: u32,
+    backups: bool,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<FsStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FsStore {
+            root,
+            retries: 3,
+            backups: false,
+        })
+    }
+
+    /// Sets the retry budget per I/O operation (minimum 1 attempt).
+    pub fn with_retries(mut self, retries: u32) -> FsStore {
+        self.retries = retries.max(1);
+        self
+    }
+
+    /// Enables `.bak` backups on overwrite (checkpoint armoring).
+    pub fn with_backups(mut self, enabled: bool) -> FsStore {
+        self.backups = enabled;
+        self
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn ns_dir(&self, ns: &str) -> PathBuf {
+        self.root.join(ns)
+    }
+
+    fn item_path(&self, ns: &str, key: &str) -> PathBuf {
+        self.ns_dir(ns).join(key)
+    }
+
+    /// Reads the backup copy of `ns/key` if present — the recovery path
+    /// when a checkpoint read fails.
+    pub fn read_backup(&self, ns: &str, key: &str) -> Result<Vec<u8>> {
+        let mut p = self.item_path(ns, key).into_os_string();
+        p.push(".bak");
+        fs::read(PathBuf::from(p)).map_err(DataError::Io)
+    }
+
+    fn retrying<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut last = None;
+        for _ in 0..self.retries {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+}
+
+impl DataStore for FsStore {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Filesystem
+    }
+
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
+        let dir = self.ns_dir(ns);
+        self.retrying(|| fs::create_dir_all(&dir))?;
+        let path = self.item_path(ns, key);
+        if self.backups && path.exists() {
+            let mut bak = path.clone().into_os_string();
+            bak.push(".bak");
+            self.retrying(|| fs::copy(&path, PathBuf::from(&bak)).map(|_| ()))?;
+        }
+        let tmp = dir.join(format!(".{key}.tmp"));
+        self.retrying(|| fs::write(&tmp, data))?;
+        self.retrying(|| fs::rename(&tmp, &path))?;
+        Ok(())
+    }
+
+    fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
+        let path = self.item_path(ns, key);
+        self.retrying(|| fs::read(&path)).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                DataError::NotFound {
+                    ns: ns.to_string(),
+                    key: key.to_string(),
+                }
+            } else {
+                DataError::Io(e)
+            }
+        })
+    }
+
+    fn exists(&mut self, ns: &str, key: &str) -> bool {
+        self.item_path(ns, key).is_file()
+    }
+
+    fn list(&mut self, ns: &str) -> Result<Vec<String>> {
+        let dir = self.ns_dir(ns);
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                // Skip armoring artifacts.
+                if name.starts_with('.') || name.ends_with(".bak") {
+                    continue;
+                }
+                out.push(name.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()> {
+        let src = self.item_path(from, key);
+        if !src.is_file() {
+            return Err(DataError::NotFound {
+                ns: from.to_string(),
+                key: key.to_string(),
+            });
+        }
+        let dst_dir = self.ns_dir(to);
+        self.retrying(|| fs::create_dir_all(&dst_dir))?;
+        let dst = self.item_path(to, key);
+        self.retrying(|| fs::rename(&src, &dst))?;
+        Ok(())
+    }
+
+    fn delete(&mut self, ns: &str, key: &str) -> Result<bool> {
+        let path = self.item_path(ns, key);
+        match fs::remove_file(path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(DataError::Io(e)),
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> FsStore {
+        let dir = std::env::temp_dir().join(format!("fsstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        FsStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = store("rt");
+        s.write("patches", "p-0001", b"bytes").unwrap();
+        assert_eq!(s.read("patches", "p-0001").unwrap(), b"bytes");
+        assert!(s.exists("patches", "p-0001"));
+        assert!(!s.exists("patches", "p-0002"));
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn missing_read_is_not_found() {
+        let mut s = store("nf");
+        assert!(matches!(
+            s.read("ns", "nope"),
+            Err(DataError::NotFound { .. })
+        ));
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn list_skips_artifacts() {
+        let mut s = store("list").with_backups(true);
+        s.write("ns", "a", b"1").unwrap();
+        s.write("ns", "a", b"2").unwrap(); // creates a.bak
+        s.write("ns", "b", b"3").unwrap();
+        let mut keys = s.list("ns").unwrap();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(s.read_backup("ns", "a").unwrap(), b"1");
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn list_of_missing_namespace_is_empty() {
+        let mut s = store("empty");
+        assert!(s.list("void").unwrap().is_empty());
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn move_ns_relocates_item() {
+        let mut s = store("mv");
+        s.write("rdf-new", "f1", b"rdf").unwrap();
+        s.move_ns("f1", "rdf-new", "rdf-done").unwrap();
+        assert!(!s.exists("rdf-new", "f1"));
+        assert_eq!(s.read("rdf-done", "f1").unwrap(), b"rdf");
+        assert!(matches!(
+            s.move_ns("f1", "rdf-new", "rdf-done"),
+            Err(DataError::NotFound { .. })
+        ));
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn delete_reports_existence() {
+        let mut s = store("del");
+        s.write("ns", "k", b"v").unwrap();
+        assert!(s.delete("ns", "k").unwrap());
+        assert!(!s.delete("ns", "k").unwrap());
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut s = store("ow");
+        s.write("ns", "k", b"old").unwrap();
+        s.write("ns", "k", b"new").unwrap();
+        assert_eq!(s.read("ns", "k").unwrap(), b"new");
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+}

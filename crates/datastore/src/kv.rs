@@ -1,0 +1,198 @@
+//! Key-value backend over a [`kvstore`] cluster.
+//!
+//! Item `ns/key` maps to cluster key `ns:{key}` — the user key is the hash
+//! tag, so all namespaces of the same item co-locate on one shard and
+//! [`DataStore::move_ns`] is a single-shard atomic rename. This is how the
+//! CG→continuum feedback marks frames as processed without touching GPFS.
+
+use bytes::Bytes;
+use std::sync::Arc;
+
+use kvstore::{Client, Cluster, LatencyModel};
+
+use crate::store::{BackendKind, DataStore};
+use crate::{DataError, Result};
+
+/// A store backed by an in-memory key-value cluster.
+#[derive(Debug, Clone)]
+pub struct KvDataStore {
+    client: Client,
+}
+
+impl Default for KvDataStore {
+    /// A fresh four-shard cluster (handy for scratch tiers and tests).
+    fn default() -> Self {
+        KvDataStore::new(4)
+    }
+}
+
+impl KvDataStore {
+    /// Creates a store over a fresh cluster of `shards` shards.
+    pub fn new(shards: usize) -> KvDataStore {
+        KvDataStore {
+            client: Client::new(Cluster::new(shards)),
+        }
+    }
+
+    /// Creates a store over an existing cluster (shared with other
+    /// components, as on the 4000-node run where all compute nodes mapped
+    /// onto 20 Redis nodes).
+    pub fn over(cluster: Arc<Cluster>) -> KvDataStore {
+        KvDataStore {
+            client: Client::new(cluster),
+        }
+    }
+
+    /// Same, with a network latency model for throughput studies.
+    pub fn over_with_latency(cluster: Arc<Cluster>, latency: LatencyModel) -> KvDataStore {
+        KvDataStore {
+            client: Client::with_latency(cluster, latency),
+        }
+    }
+
+    /// The underlying client (for virtual-time accounting in benchmarks).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    fn full_key(ns: &str, key: &str) -> String {
+        format!("{ns}:{{{key}}}")
+    }
+
+    fn strip_ns(ns: &str, full: &str) -> Option<String> {
+        let prefix = format!("{ns}:{{");
+        full.strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix('}'))
+            .map(str::to_string)
+    }
+}
+
+impl DataStore for KvDataStore {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Redis
+    }
+
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
+        self.client
+            .set(&Self::full_key(ns, key), Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
+        self.client
+            .get(&Self::full_key(ns, key))
+            .map(|b| b.to_vec())
+            .ok_or_else(|| DataError::NotFound {
+                ns: ns.to_string(),
+                key: key.to_string(),
+            })
+    }
+
+    fn exists(&mut self, ns: &str, key: &str) -> bool {
+        self.client.exists(&Self::full_key(ns, key))
+    }
+
+    fn list(&mut self, ns: &str) -> Result<Vec<String>> {
+        Ok(self
+            .client
+            .keys(&format!("{ns}:{{*"))
+            .iter()
+            .filter_map(|k| Self::strip_ns(ns, k))
+            .collect())
+    }
+
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()> {
+        self.client
+            .rename(&Self::full_key(from, key), &Self::full_key(to, key))
+            .map_err(|e| match e {
+                kvstore::KvError::NoSuchKey(_) => DataError::NotFound {
+                    ns: from.to_string(),
+                    key: key.to_string(),
+                },
+                other => DataError::Kv(other),
+            })
+    }
+
+    fn delete(&mut self, ns: &str, key: &str) -> Result<bool> {
+        Ok(self.client.del(&Self::full_key(ns, key)))
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn read_many(&mut self, ns: &str, keys: &[String]) -> Result<Vec<Vec<u8>>> {
+        let full: Vec<String> = keys.iter().map(|k| Self::full_key(ns, k)).collect();
+        let vals = self.client.mget(&full);
+        keys.iter()
+            .zip(vals)
+            .map(|(k, v)| {
+                v.map(|b| b.to_vec()).ok_or_else(|| DataError::NotFound {
+                    ns: ns.to_string(),
+                    key: k.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_namespacing() {
+        let mut s = KvDataStore::new(8);
+        s.write("rdf-new", "sim1:f1", b"data").unwrap();
+        s.write("other", "sim1:f1", b"other-data").unwrap();
+        assert_eq!(s.read("rdf-new", "sim1:f1").unwrap(), b"data");
+        assert_eq!(s.read("other", "sim1:f1").unwrap(), b"other-data");
+        let keys = s.list("rdf-new").unwrap();
+        assert_eq!(keys, vec!["sim1:f1"]);
+    }
+
+    #[test]
+    fn move_ns_is_single_shard_rename() {
+        let mut s = KvDataStore::new(20);
+        for i in 0..100 {
+            s.write("new", &format!("f{i}"), b"x").unwrap();
+        }
+        for i in 0..100 {
+            s.move_ns(&format!("f{i}"), "new", "done").unwrap();
+        }
+        assert_eq!(s.count("new").unwrap(), 0);
+        assert_eq!(s.count("done").unwrap(), 100);
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let mut s = KvDataStore::new(4);
+        assert!(matches!(s.read("ns", "k"), Err(DataError::NotFound { .. })));
+        assert!(matches!(
+            s.move_ns("k", "a", "b"),
+            Err(DataError::NotFound { .. })
+        ));
+        assert!(!s.delete("ns", "k").unwrap());
+    }
+
+    #[test]
+    fn read_many_pipelines() {
+        let mut s = KvDataStore::new(4);
+        let keys: Vec<String> = (0..50).map(|i| format!("f{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            s.write("ns", k, &[i as u8]).unwrap();
+        }
+        let vals = s.read_many("ns", &keys).unwrap();
+        assert_eq!(vals.len(), 50);
+        assert_eq!(vals[7], vec![7u8]);
+    }
+
+    #[test]
+    fn shared_cluster_sees_writes_from_clones() {
+        let cluster = Cluster::new(4);
+        let mut a = KvDataStore::over(Arc::clone(&cluster));
+        let mut b = KvDataStore::over(cluster);
+        a.write("ns", "k", b"v").unwrap();
+        assert_eq!(b.read("ns", "k").unwrap(), b"v");
+    }
+}

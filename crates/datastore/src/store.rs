@@ -1,0 +1,93 @@
+//! The abstract data interface.
+
+use crate::Result;
+
+/// Which backend a store is (the paper's "single configuration switch").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Direct filesystem files.
+    Filesystem,
+    /// Indexed tar archives.
+    Taridx,
+    /// In-memory key-value cluster.
+    Redis,
+}
+
+impl BackendKind {
+    /// Short stable name for configs and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Filesystem => "filesystem",
+            BackendKind::Taridx => "taridx",
+            BackendKind::Redis => "redis",
+        }
+    }
+}
+
+/// Abstract, namespaced binary storage.
+///
+/// A *namespace* groups related items (e.g. `rdf-new`, `rdf-done`,
+/// `patches`); a *key* identifies one item inside it. Implementations map
+/// these onto directories/files, archives/members, or key prefixes.
+///
+/// Methods take `&mut self` because the tar backend keeps seekable file
+/// handles; thread-shared use goes through one store per worker or an
+/// external lock, mirroring MuMMI's "thread-safe objects … with a mix of
+/// blocking and nonblocking locks".
+pub trait DataStore: Send {
+    /// Backend identity.
+    fn kind(&self) -> BackendKind;
+
+    /// Writes `data` under `ns/key`, overwriting any existing item.
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()>;
+
+    /// Reads the item at `ns/key`.
+    fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>>;
+
+    /// Whether `ns/key` exists.
+    fn exists(&mut self, ns: &str, key: &str) -> bool;
+
+    /// Lists all keys in `ns`, in unspecified order.
+    fn list(&mut self, ns: &str) -> Result<Vec<String>>;
+
+    /// Moves `key` from namespace `from` to namespace `to` — the feedback
+    /// "tagging" primitive. Fails if the source item does not exist.
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()>;
+
+    /// Deletes `ns/key`; returns whether it existed.
+    fn delete(&mut self, ns: &str, key: &str) -> Result<bool>;
+
+    /// Persists any buffered state (indices, file syncs).
+    fn flush(&mut self) -> Result<()>;
+
+    /// Number of keys in `ns` (default: `list().len()`).
+    fn count(&mut self, ns: &str) -> Result<usize> {
+        Ok(self.list(ns)?.len())
+    }
+
+    /// Bulk read; default loops over [`DataStore::read`]. Backends with
+    /// pipelining override this.
+    fn read_many(&mut self, ns: &str, keys: &[String]) -> Result<Vec<Vec<u8>>> {
+        keys.iter().map(|k| self.read(ns, k)).collect()
+    }
+
+    /// Bulk namespace move; default loops over [`DataStore::move_ns`].
+    fn move_ns_many(&mut self, keys: &[String], from: &str, to: &str) -> Result<()> {
+        for k in keys {
+            self.move_ns(k, from, to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(BackendKind::Filesystem.name(), "filesystem");
+        assert_eq!(BackendKind::Taridx.name(), "taridx");
+        assert_eq!(BackendKind::Redis.name(), "redis");
+    }
+}

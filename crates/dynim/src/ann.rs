@@ -1,0 +1,204 @@
+//! Nearest-neighbor backends for novelty computation.
+//!
+//! The paper updates candidate ranks "using approximate nearest neighbor
+//! queries (with L2 distances) powered by the FAISS framework". [`KdTreeNn`]
+//! is our FAISS stand-in: an incrementally-built k-d tree with pruned
+//! nearest-neighbor search. [`ExactNn`] is the linear-scan reference used to
+//! validate it and for tiny selected sets.
+
+/// Distance-to-nearest queries over a growing point set.
+pub trait NnIndex: Send + Sync {
+    /// Inserts a point.
+    fn add(&mut self, coords: &[f64]);
+
+    /// Number of stored points.
+    fn len(&self) -> usize;
+
+    /// True when no points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Squared L2 distance from `query` to the nearest stored point, or
+    /// `f64::INFINITY` when the index is empty.
+    fn nearest_dist_sq(&self, query: &[f64]) -> f64;
+}
+
+/// Exact linear-scan index.
+#[derive(Debug, Clone, Default)]
+pub struct ExactNn {
+    points: Vec<Vec<f64>>,
+}
+
+impl ExactNn {
+    /// An empty index.
+    pub fn new() -> ExactNn {
+        ExactNn::default()
+    }
+}
+
+impl NnIndex for ExactNn {
+    fn add(&mut self, coords: &[f64]) {
+        self.points.push(coords.to_vec());
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn nearest_dist_sq(&self, query: &[f64]) -> f64 {
+        self.points
+            .iter()
+            .map(|p| dist_sq(p, query))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct KdNode {
+    coords: Vec<f64>,
+    axis: usize,
+    left: Option<Box<KdNode>>,
+    right: Option<Box<KdNode>>,
+}
+
+/// Incrementally-built k-d tree (no rebalancing; insertion order acts as
+/// shuffling for the near-random encodings this is used on).
+#[derive(Debug, Clone, Default)]
+pub struct KdTreeNn {
+    root: Option<Box<KdNode>>,
+    len: usize,
+}
+
+impl KdTreeNn {
+    /// An empty tree.
+    pub fn new() -> KdTreeNn {
+        KdTreeNn::default()
+    }
+}
+
+impl NnIndex for KdTreeNn {
+    fn add(&mut self, coords: &[f64]) {
+        let dim = coords.len().max(1);
+        let mut slot = &mut self.root;
+        let mut depth = 0;
+        while let Some(node) = slot {
+            let axis = node.axis;
+            slot = if coords[axis] < node.coords[axis] {
+                &mut node.left
+            } else {
+                &mut node.right
+            };
+            depth += 1;
+        }
+        *slot = Some(Box::new(KdNode {
+            coords: coords.to_vec(),
+            axis: depth % dim,
+            left: None,
+            right: None,
+        }));
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn nearest_dist_sq(&self, query: &[f64]) -> f64 {
+        let mut best = f64::INFINITY;
+        if let Some(root) = &self.root {
+            search(root, query, &mut best);
+        }
+        best
+    }
+}
+
+fn search(node: &KdNode, query: &[f64], best: &mut f64) {
+    let d = dist_sq(&node.coords, query);
+    if d < *best {
+        *best = d;
+    }
+    let axis = node.axis;
+    let delta = query[axis] - node.coords[axis];
+    let (near, far) = if delta < 0.0 {
+        (&node.left, &node.right)
+    } else {
+        (&node.right, &node.left)
+    };
+    if let Some(n) = near {
+        search(n, query, best);
+    }
+    // Prune the far side unless the splitting plane is closer than best.
+    if delta * delta < *best {
+        if let Some(f) = far {
+            search(f, query, best);
+        }
+    }
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_index_returns_infinity() {
+        assert_eq!(ExactNn::new().nearest_dist_sq(&[0.0]), f64::INFINITY);
+        assert_eq!(KdTreeNn::new().nearest_dist_sq(&[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn kdtree_matches_exact_on_random_points() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut exact = ExactNn::new();
+        let mut tree = KdTreeNn::new();
+        for _ in 0..500 {
+            let p: Vec<f64> = (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            exact.add(&p);
+            tree.add(&p);
+        }
+        assert_eq!(exact.len(), tree.len());
+        for _ in 0..200 {
+            let q: Vec<f64> = (0..9).map(|_| rng.gen_range(-1.5..1.5)).collect();
+            let de = exact.nearest_dist_sq(&q);
+            let dt = tree.nearest_dist_sq(&q);
+            assert!(
+                (de - dt).abs() < 1e-12,
+                "exact {de} vs kdtree {dt} for query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_of_member_is_zero() {
+        let mut tree = KdTreeNn::new();
+        tree.add(&[1.0, 2.0, 3.0]);
+        tree.add(&[4.0, 5.0, 6.0]);
+        assert_eq!(tree.nearest_dist_sq(&[4.0, 5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let mut tree = KdTreeNn::new();
+        for _ in 0..10 {
+            tree.add(&[1.0, 1.0]);
+        }
+        assert_eq!(tree.len(), 10);
+        assert_eq!(tree.nearest_dist_sq(&[1.0, 1.0]), 0.0);
+        assert!((tree.nearest_dist_sq(&[2.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_dimensional_points() {
+        let mut tree = KdTreeNn::new();
+        for i in 0..100 {
+            tree.add(&[i as f64]);
+        }
+        assert!((tree.nearest_dist_sq(&[42.4]) - 0.16).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! High-dimensional points.
+
+/// An identified point in the encoding space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdPoint {
+    /// Application-level identifier (patch id, frame id, …).
+    pub id: String,
+    /// Coordinates in the encoding space (9-D for patches, 3-D for frames).
+    pub coords: Vec<f64>,
+}
+
+impl HdPoint {
+    /// Builds a point.
+    pub fn new(id: impl Into<String>, coords: Vec<f64>) -> HdPoint {
+        HdPoint {
+            id: id.into(),
+            coords,
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Squared L2 distance to another point.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch (debug builds).
+    pub fn dist_sq(&self, other: &[f64]) -> f64 {
+        debug_assert_eq!(self.coords.len(), other.len());
+        self.coords
+            .iter()
+            .zip(other)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// L2 distance to another point.
+    pub fn dist(&self, other: &[f64]) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let p = HdPoint::new("a", vec![0.0, 3.0]);
+        assert_eq!(p.dist_sq(&[4.0, 0.0]), 25.0);
+        assert_eq!(p.dist(&[4.0, 0.0]), 5.0);
+        assert_eq!(p.dist(&[0.0, 3.0]), 0.0);
+        assert_eq!(p.dim(), 2);
+    }
+}

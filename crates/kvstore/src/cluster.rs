@@ -1,0 +1,535 @@
+//! The shard cluster and pipelined client.
+
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::shard::Shard;
+use crate::{KvError, Result};
+
+/// A cluster of [`Shard`]s with hash-based key placement.
+///
+/// Keys may embed a *hash tag* (`{...}`, as in Redis Cluster): when present,
+/// only the tag is hashed, so related keys — e.g. `rdf:new:{sim42}:f1` and
+/// `rdf:done:{sim42}:f1` — co-locate on one shard and can be renamed
+/// atomically. The MuMMI feedback namespaces rely on this.
+#[derive(Debug)]
+pub struct Cluster {
+    shards: Vec<Shard>,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` shards (the paper's scaling run used 20
+    /// Redis nodes). `n` is clamped to at least 1.
+    pub fn new(n: usize) -> Arc<Cluster> {
+        let n = n.max(1);
+        Arc::new(Cluster {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index that owns `key`.
+    pub fn shard_for(&self, key: &str) -> usize {
+        (hash_key(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to a shard (used by tests and rebalancing tools).
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// Total keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// True when the cluster holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Shard::is_empty)
+    }
+
+    /// Total stored value bytes across all shards.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(Shard::memory_bytes).sum()
+    }
+}
+
+/// Extracts the hashable portion of a key: the contents of the first
+/// non-empty `{...}` tag, or the whole key when no tag exists.
+fn hash_slot_of(key: &str) -> &str {
+    if let Some(open) = key.find('{') {
+        if let Some(close_rel) = key[open + 1..].find('}') {
+            let tag = &key[open + 1..open + 1 + close_rel];
+            if !tag.is_empty() {
+                return tag;
+            }
+        }
+    }
+    key
+}
+
+/// FNV-1a over the hash slot; stable across runs and platforms.
+fn hash_key(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in hash_slot_of(key).as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Models the cost of talking to the cluster over a network.
+///
+/// Costs accumulate into a virtual-time counter on the [`Client`]; nothing
+/// sleeps. This lets benchmarks report interconnect-realistic latencies while
+/// measuring data-structure costs for real.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Cost of one request/response round trip to one shard, in nanoseconds.
+    pub rtt_ns: u64,
+    /// Cost per payload byte transferred, in nanoseconds.
+    pub per_byte_ns: u64,
+    /// Cost per key touched (serialization, lookup dispatch), in nanoseconds.
+    pub per_key_ns: u64,
+}
+
+impl LatencyModel {
+    /// No simulated network cost.
+    pub const ZERO: LatencyModel = LatencyModel {
+        rtt_ns: 0,
+        per_byte_ns: 0,
+        per_key_ns: 0,
+    };
+
+    /// A model shaped like Summit's EDR InfiniBand as seen from *Python*
+    /// redis clients: ~100 µs effective round trip through the software
+    /// stack, ~20 ns/byte (~50 MB/s effective for small serial transfers
+    /// through the client library), ~80 µs per key of serialization and
+    /// server-side work. Calibrated against the paper's Figure 7 rates
+    /// (~10 K key scans+deletions/s, ~2 K value reads/s).
+    pub const SUMMIT_IB: LatencyModel = LatencyModel {
+        rtt_ns: 100_000,
+        per_byte_ns: 20,
+        per_key_ns: 80_000,
+    };
+}
+
+/// A handle to a [`Cluster`] with pipelined batch operations and virtual
+/// network-time accounting. Clones share the cluster but each clone keeps
+/// its own virtual clock.
+#[derive(Debug, Clone)]
+pub struct Client {
+    cluster: Arc<Cluster>,
+    latency: LatencyModel,
+    virtual_ns: Arc<AtomicU64>,
+}
+
+impl Client {
+    /// Creates a client with no latency model.
+    pub fn new(cluster: Arc<Cluster>) -> Client {
+        Client::with_latency(cluster, LatencyModel::ZERO)
+    }
+
+    /// Creates a client that accounts simulated network time.
+    pub fn with_latency(cluster: Arc<Cluster>, latency: LatencyModel) -> Client {
+        Client {
+            cluster,
+            latency,
+            virtual_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The cluster behind this client.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Simulated network time accumulated so far, in nanoseconds.
+    pub fn virtual_ns(&self) -> u64 {
+        self.virtual_ns.load(Ordering::Relaxed)
+    }
+
+    /// Resets the virtual clock (e.g. between benchmark sections).
+    pub fn reset_virtual(&self) {
+        self.virtual_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn charge(&self, round_trips: u64, keys: u64, bytes: u64) {
+        let cost = round_trips * self.latency.rtt_ns
+            + keys * self.latency.per_key_ns
+            + bytes * self.latency.per_byte_ns;
+        if cost > 0 {
+            self.virtual_ns.fetch_add(cost, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores one value. One round trip.
+    pub fn set(&self, key: &str, value: impl Into<Bytes>) {
+        let value = value.into();
+        self.charge(1, 1, value.len() as u64);
+        self.cluster.shards[self.cluster.shard_for(key)].set(key, value);
+    }
+
+    /// Fetches one value. One round trip.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let v = self.cluster.shards[self.cluster.shard_for(key)].get(key);
+        self.charge(1, 1, v.as_ref().map_or(0, |b| b.len() as u64));
+        v
+    }
+
+    /// Deletes one key. One round trip.
+    pub fn del(&self, key: &str) -> bool {
+        self.charge(1, 1, 0);
+        self.cluster.shards[self.cluster.shard_for(key)].del(key)
+    }
+
+    /// Whether `key` exists. One round trip.
+    pub fn exists(&self, key: &str) -> bool {
+        self.charge(1, 1, 0);
+        self.cluster.shards[self.cluster.shard_for(key)].exists(key)
+    }
+
+    /// Renames `from` to `to`. Both must hash to the same shard (use hash
+    /// tags); otherwise [`KvError::CrossShardRename`] is returned.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let (sf, st) = (self.cluster.shard_for(from), self.cluster.shard_for(to));
+        if sf != st {
+            return Err(KvError::CrossShardRename {
+                from: from.to_string(),
+                to: to.to_string(),
+            });
+        }
+        self.charge(1, 2, 0);
+        self.cluster.shards[sf].rename(from, to)
+    }
+
+    /// Scans every shard for keys matching `pattern` (Redis `KEYS`). One
+    /// round trip per shard, pipelined.
+    pub fn keys(&self, pattern: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.cluster.shards {
+            out.extend(shard.keys(pattern));
+        }
+        let key_bytes: u64 = out.iter().map(|k| k.len() as u64).sum();
+        self.charge(self.cluster.shards.len() as u64, out.len() as u64, key_bytes);
+        out
+    }
+
+    /// Incremental cluster scan (Redis `SCAN` over every shard): the cursor
+    /// packs (shard index, shard cursor). Returns up to `count` keys per
+    /// call; `None` next-cursor means the scan finished. Each call charges
+    /// one round trip.
+    pub fn scan(&self, pattern: &str, cursor: u64, count: usize) -> (Vec<String>, Option<u64>) {
+        let shards = self.cluster.shards.len() as u64;
+        let mut shard_idx = (cursor >> 32) as usize;
+        let mut shard_cursor = cursor & 0xffff_ffff;
+        let mut out = Vec::new();
+        while shard_idx < shards as usize && out.len() < count {
+            let (batch, next) = self.cluster.shards[shard_idx].scan(
+                pattern,
+                shard_cursor,
+                count - out.len(),
+            );
+            let batch_bytes: u64 = batch.iter().map(|k| k.len() as u64).sum();
+            self.charge(0, batch.len() as u64, batch_bytes);
+            out.extend(batch);
+            match next {
+                Some(c) => shard_cursor = c,
+                None => {
+                    shard_idx += 1;
+                    shard_cursor = 0;
+                }
+            }
+        }
+        self.charge(1, 0, 0);
+        let next = if shard_idx < shards as usize {
+            Some(((shard_idx as u64) << 32) | shard_cursor)
+        } else {
+            None
+        };
+        (out, next)
+    }
+
+    /// Pipelined multi-get: values are fetched shard-by-shard with one round
+    /// trip per shard touched. Missing keys yield `None`.
+    pub fn mget(&self, keys: &[String]) -> Vec<Option<Bytes>> {
+        let mut shards_touched = vec![false; self.cluster.shards.len()];
+        let mut bytes = 0u64;
+        let out: Vec<Option<Bytes>> = keys
+            .iter()
+            .map(|k| {
+                let s = self.cluster.shard_for(k);
+                shards_touched[s] = true;
+                let v = self.cluster.shards[s].get(k);
+                bytes += v.as_ref().map_or(0, |b| b.len() as u64);
+                v
+            })
+            .collect();
+        let trips = shards_touched.iter().filter(|&&t| t).count() as u64;
+        self.charge(trips, keys.len() as u64, bytes);
+        out
+    }
+
+    /// Pipelined multi-set.
+    pub fn mset(&self, pairs: &[(String, Bytes)]) {
+        let mut shards_touched = vec![false; self.cluster.shards.len()];
+        let mut bytes = 0u64;
+        for (k, v) in pairs {
+            let s = self.cluster.shard_for(k);
+            shards_touched[s] = true;
+            bytes += v.len() as u64;
+            self.cluster.shards[s].set(k, v.clone());
+        }
+        let trips = shards_touched.iter().filter(|&&t| t).count() as u64;
+        self.charge(trips, pairs.len() as u64, bytes);
+    }
+
+    /// Pipelined multi-delete; returns how many keys existed.
+    pub fn del_many(&self, keys: &[String]) -> usize {
+        let mut shards_touched = vec![false; self.cluster.shards.len()];
+        let mut deleted = 0;
+        for k in keys {
+            let s = self.cluster.shard_for(k);
+            shards_touched[s] = true;
+            if self.cluster.shards[s].del(k) {
+                deleted += 1;
+            }
+        }
+        let trips = shards_touched.iter().filter(|&&t| t).count() as u64;
+        self.charge(trips, keys.len() as u64, 0);
+        deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_distribute_across_shards() {
+        let c = Cluster::new(8);
+        let client = Client::new(Arc::clone(&c));
+        for i in 0..1000 {
+            client.set(&format!("key-{i}"), &b"v"[..]);
+        }
+        assert_eq!(c.len(), 1000);
+        let occupied = (0..8).filter(|&i| !c.shard(i).is_empty()).count();
+        assert!(occupied >= 6, "expected most shards occupied, got {occupied}");
+    }
+
+    #[test]
+    fn hash_tags_colocate_related_keys() {
+        let c = Cluster::new(16);
+        let a = c.shard_for("rdf:new:{sim42}:f1");
+        let b = c.shard_for("rdf:done:{sim42}:f1");
+        let other = c.shard_for("rdf:new:{sim43}:f1");
+        assert_eq!(a, b);
+        // Different tags need not differ, but over many tags they spread.
+        let distinct: std::collections::HashSet<usize> =
+            (0..100).map(|i| c.shard_for(&format!("{{sim{i}}}"))).collect();
+        assert!(distinct.len() > 8);
+        let _ = other;
+    }
+
+    #[test]
+    fn tagged_rename_succeeds_cross_namespace() {
+        let c = Cluster::new(16);
+        let client = Client::new(c);
+        client.set("rdf:new:{s1}:f1", &b"data"[..]);
+        client.rename("rdf:new:{s1}:f1", "rdf:done:{s1}:f1").unwrap();
+        assert!(client.get("rdf:new:{s1}:f1").is_none());
+        assert_eq!(client.get("rdf:done:{s1}:f1").unwrap().as_ref(), b"data");
+    }
+
+    #[test]
+    fn untagged_cross_shard_rename_is_rejected() {
+        let c = Cluster::new(64);
+        let client = Client::new(Arc::clone(&c));
+        // Find two untagged keys on different shards.
+        let from = "alpha".to_string();
+        let to = (0..10_000)
+            .map(|i| format!("beta-{i}"))
+            .find(|k| c.shard_for(k) != c.shard_for(&from))
+            .expect("some key must land elsewhere");
+        client.set(&from, &b"v"[..]);
+        assert!(matches!(
+            client.rename(&from, &to),
+            Err(KvError::CrossShardRename { .. })
+        ));
+    }
+
+    #[test]
+    fn mget_mset_roundtrip_with_missing() {
+        let client = Client::new(Cluster::new(4));
+        let pairs: Vec<(String, Bytes)> = (0..50)
+            .map(|i| (format!("k{i}"), Bytes::from(vec![i as u8; 10])))
+            .collect();
+        client.mset(&pairs);
+        let mut keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        keys.push("missing".into());
+        let vals = client.mget(&keys);
+        assert_eq!(vals.len(), 51);
+        assert!(vals[..50].iter().all(Option::is_some));
+        assert!(vals[50].is_none());
+        assert_eq!(client.del_many(&keys), 50);
+        assert!(client.cluster().is_empty());
+    }
+
+    #[test]
+    fn pattern_scan_spans_cluster() {
+        let client = Client::new(Cluster::new(20));
+        for i in 0..200 {
+            client.set(&format!("rdf:new:{{s{i}}}:f0"), &b"x"[..]);
+        }
+        for i in 0..100 {
+            client.set(&format!("other:{i}"), &b"x"[..]);
+        }
+        assert_eq!(client.keys("rdf:new:*").len(), 200);
+        assert_eq!(client.keys("*").len(), 300);
+    }
+
+    #[test]
+    fn cluster_scan_covers_all_shards_incrementally() {
+        let client = Client::new(Cluster::new(20));
+        for i in 0..500 {
+            client.set(&format!("rdf:new:{{s{i}}}:f0"), &b"x"[..]);
+        }
+        let mut cursor = 0u64;
+        let mut found = Vec::new();
+        let mut calls = 0;
+        loop {
+            calls += 1;
+            let (batch, next) = client.scan("rdf:new:*", cursor, 50);
+            found.extend(batch);
+            match next {
+                Some(c) => cursor = c,
+                None => break,
+            }
+            assert!(calls < 200);
+        }
+        found.sort();
+        found.dedup();
+        assert_eq!(found.len(), 500);
+        assert!(calls >= 10, "incremental: {calls} calls");
+        // The scan agrees with the blocking KEYS.
+        assert_eq!(client.keys("rdf:new:*").len(), 500);
+    }
+
+    #[test]
+    fn latency_model_accounts_virtual_time() {
+        let lat = LatencyModel {
+            rtt_ns: 1000,
+            per_byte_ns: 2,
+            per_key_ns: 10,
+        };
+        let client = Client::with_latency(Cluster::new(4), lat);
+        assert_eq!(client.virtual_ns(), 0);
+        client.set("k", vec![0u8; 100]); // 1 trip + 1 key + 100 bytes
+        assert_eq!(client.virtual_ns(), 1000 + 10 + 200);
+        client.reset_virtual();
+        let _ = client.get("k"); // returns 100 bytes
+        assert_eq!(client.virtual_ns(), 1000 + 10 + 200);
+    }
+
+    #[test]
+    fn pipelining_amortizes_round_trips() {
+        let lat = LatencyModel {
+            rtt_ns: 1_000_000,
+            per_byte_ns: 0,
+            per_key_ns: 0,
+        };
+        let cluster = Cluster::new(4);
+        let pipelined = Client::with_latency(Arc::clone(&cluster), lat);
+        let pairs: Vec<(String, Bytes)> = (0..1000)
+            .map(|i| (format!("k{i}"), Bytes::from_static(b"v")))
+            .collect();
+        pipelined.mset(&pairs);
+        // At most one round trip per shard, not per key.
+        assert!(pipelined.virtual_ns() <= 4 * 1_000_000);
+
+        let naive = Client::with_latency(cluster, lat);
+        for (k, v) in &pairs {
+            naive.set(k, v.clone());
+        }
+        assert_eq!(naive.virtual_ns(), 1000 * 1_000_000);
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use std::thread;
+
+    /// Many writer threads sharing one cluster: every write must land, no
+    /// key may be lost, and per-thread namespaces stay disjoint — the
+    /// situation during a feedback iteration with thousands of CG analyses
+    /// writing while the WM scans.
+    #[test]
+    fn concurrent_writers_and_scanner() {
+        let cluster = Cluster::new(20);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let client = Client::new(Arc::clone(&cluster));
+            handles.push(thread::spawn(move || {
+                for i in 0..300 {
+                    client.set(&format!("rdf:new:{{t{t}}}:f{i}"), &b"payload"[..]);
+                }
+            }));
+        }
+        // A scanner runs concurrently; every observation must be a valid
+        // prefix of the final state (no phantom keys, monotone growth).
+        let scanner = Client::new(Arc::clone(&cluster));
+        let mut last = 0;
+        while last < 8 * 300 {
+            let found = scanner.keys("rdf:new:*").len();
+            assert!(found >= last, "scan went backwards: {last} -> {found}");
+            last = found;
+            if handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(scanner.keys("rdf:new:*").len(), 2400);
+        for t in 0..8 {
+            assert_eq!(scanner.keys(&format!("rdf:new:{{t{t}}}*")).len(), 300);
+        }
+    }
+
+    /// Concurrent feedback tagging: competing renames of disjoint key sets
+    /// never lose or duplicate a frame.
+    #[test]
+    fn concurrent_tagging_conserves_frames() {
+        let cluster = Cluster::new(8);
+        let setup = Client::new(Arc::clone(&cluster));
+        for i in 0..1000 {
+            setup.set(&format!("rdf:new:{{s{i}}}:f0"), &b"x"[..]);
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let client = Client::new(Arc::clone(&cluster));
+            handles.push(thread::spawn(move || {
+                for i in (t..1000).step_by(4) {
+                    client
+                        .rename(
+                            &format!("rdf:new:{{s{i}}}:f0"),
+                            &format!("rdf:done:{{s{i}}}:f0"),
+                        )
+                        .expect("disjoint renames cannot conflict");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let check = Client::new(cluster);
+        assert_eq!(check.keys("rdf:new:*").len(), 0);
+        assert_eq!(check.keys("rdf:done:*").len(), 1000);
+    }
+}

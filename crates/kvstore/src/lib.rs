@@ -1,0 +1,67 @@
+//! A sharded, in-memory key-value store — the Redis™ stand-in.
+//!
+//! MuMMI "sets up a cluster of Redis servers that are allocated randomly to
+//! all compute nodes" and uses it as "a short-term and highly responsive
+//! in-memory cache to reduce the amount of time per feedback loop" (§4.2).
+//! This crate provides that substrate:
+//!
+//! - [`Shard`] — one server: a hash map of binary values behind a
+//!   reader-writer lock, with the Redis-shaped operations the workflow needs
+//!   (`set`, `get`, `del`, `rename`, glob-pattern `keys`);
+//! - [`Cluster`] — N shards with hash-based key placement, mirroring the
+//!   20-node Redis cluster of the 4000-node scaling run;
+//! - [`Client`] — a cheap-to-clone handle with **pipelined** batch
+//!   operations and an optional [`LatencyModel`] that accounts simulated
+//!   network time per round-trip and per byte, so Figure 7's throughput
+//!   series can be regenerated with a realistic interconnect model.
+//!
+//! Feedback "tagging" (§4.4 Task 4) maps to [`Client::rename`]: a processed
+//! frame's key is moved out of the live namespace instead of being tracked
+//! in memory.
+//!
+//! ```
+//! use kvstore::{Client, Cluster};
+//!
+//! let client = Client::new(Cluster::new(20));
+//! client.set("rdf:new:{sim1}:f0", &b"rdf bytes"[..]);
+//! assert_eq!(client.keys("rdf:new:*").len(), 1);
+//! // Tag as processed: rename within the hash-tag's shard.
+//! client.rename("rdf:new:{sim1}:f0", "rdf:done:{sim1}:f0").unwrap();
+//! assert!(client.keys("rdf:new:*").is_empty());
+//! ```
+
+mod cluster;
+mod glob;
+mod shard;
+
+pub use cluster::{Client, Cluster, LatencyModel};
+pub use glob::glob_match;
+pub use shard::Shard;
+
+use std::fmt;
+
+/// Errors surfaced by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// `rename` source key does not exist.
+    NoSuchKey(String),
+    /// `rename` would cross shards (not supported by real Redis clusters
+    /// either without hash tags); callers must keep namespaces co-located.
+    CrossShardRename { from: String, to: String },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NoSuchKey(k) => write!(f, "no such key: {k}"),
+            KvError::CrossShardRename { from, to } => {
+                write!(f, "rename crosses shards: {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Convenience alias for store results.
+pub type Result<T> = std::result::Result<T, KvError>;

@@ -1,0 +1,223 @@
+//! Backmapping: CG system → all-atom system.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aa::AaSystem;
+use cg::engine::{ForceField, MdSystem, PairTable};
+use cg::system::CgSystem;
+
+/// Backmapping parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BackmapConfig {
+    /// Atoms reconstructed per CG bead (the "backward" template size).
+    pub atoms_per_bead: usize,
+    /// Template radius around each bead position (nm).
+    pub template_radius: f64,
+    /// Minimization steps per restraint cycle.
+    pub steps_per_cycle: usize,
+    /// Restraint multipliers per cycle, strongest first (the paper's
+    /// "cycles of energy minimization and position-restrained MD").
+    pub restraint_cycles: [f64; 4],
+    /// RNG seed for template orientation jitter.
+    pub seed: u64,
+}
+
+impl Default for BackmapConfig {
+    fn default() -> Self {
+        BackmapConfig {
+            atoms_per_bead: 4,
+            template_radius: 0.12,
+            steps_per_cycle: 40,
+            restraint_cycles: [10.0, 5.0, 2.0, 1.0],
+            seed: 36, // CHARMM36
+        }
+    }
+}
+
+/// What the backmapping run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackmapReport {
+    /// Atom count of the AA system.
+    pub n_atoms: usize,
+    /// Protein residues (one per CG protein bead).
+    pub n_protein_residues: usize,
+    /// Energy after each restraint cycle, in cycle order.
+    pub cycle_energies: Vec<f64>,
+}
+
+/// Expands a CG configuration into an AA system and refines it through
+/// restrained-minimization cycles.
+pub fn backmap(cgs: &CgSystem, cfg: &BackmapConfig) -> (AaSystem, BackmapReport) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let apb = cfg.atoms_per_bead.max(1);
+    let n_beads = cgs.sys.len();
+
+    let mut pos: Vec<[f64; 3]> = Vec::with_capacity(n_beads * apb);
+    let mut typ: Vec<u16> = Vec::with_capacity(n_beads * apb);
+    let mut bonds: Vec<(u32, u32, f64, f64)> = Vec::new();
+    let mut residues: Vec<Vec<usize>> = Vec::with_capacity(n_beads);
+
+    // Tetrahedral template directions (unit vectors).
+    let tetra: [[f64; 3]; 4] = [
+        [1.0, 1.0, 1.0],
+        [1.0, -1.0, -1.0],
+        [-1.0, 1.0, -1.0],
+        [-1.0, -1.0, 1.0],
+    ];
+    let inv_sqrt3 = 1.0 / 3f64.sqrt();
+
+    for b in 0..n_beads {
+        let center = cgs.sys.pos[b];
+        let base = pos.len();
+        let mut atoms = Vec::with_capacity(apb);
+        for a in 0..apb {
+            let dir = tetra[a % 4];
+            let mut jitter = || rng.gen_range(-0.15..0.15) * cfg.template_radius;
+            let mut p = [0.0; 3];
+            let mut jit = [jitter(), jitter(), jitter()];
+            if a == 0 {
+                // The first atom is the residue's backbone anchor: keep it
+                // at the bead center so the CG geometry is preserved.
+                jit = [0.0; 3];
+            }
+            for k in 0..3 {
+                p[k] = center[k]
+                    + if a == 0 {
+                        0.0
+                    } else {
+                        dir[k] * inv_sqrt3 * cfg.template_radius
+                    }
+                    + jit[k];
+            }
+            let idx = pos.len();
+            pos.push(p);
+            typ.push(cgs.sys.typ[b]);
+            atoms.push(idx);
+            if a > 0 {
+                // Intra-residue bond to the anchor.
+                bonds.push((base as u32, idx as u32, 100.0, cfg.template_radius));
+            }
+        }
+        residues.push(atoms);
+    }
+
+    // Chain bonds between consecutive protein residues' anchors.
+    let mut backbone = Vec::with_capacity(cgs.protein.len());
+    for (pi, &bead) in cgs.protein.iter().enumerate() {
+        let anchor = residues[bead][0];
+        backbone.push(anchor);
+        if pi > 0 {
+            let prev_anchor = residues[cgs.protein[pi - 1]][0];
+            bonds.push((prev_anchor as u32, anchor as u32, 80.0, 0.4));
+        }
+    }
+
+    // Finer force field: smaller sigma, shallower wells, shorter cutoff.
+    let n_types = cgs.ff.pairs.n_types();
+    let pairs = PairTable::uniform(n_types, 0.15, 0.02);
+    let ff = ForceField {
+        pairs,
+        cutoff: 0.6,
+        bonds,
+    };
+    let sys = MdSystem::new(pos, typ, cgs.sys.box_l);
+    let mut aas = AaSystem::from_parts(sys, ff, residues, backbone, cfg.seed ^ 0xaa);
+
+    let mut cycle_energies = Vec::with_capacity(cfg.restraint_cycles.len());
+    for &restraint in &cfg.restraint_cycles {
+        let (_, e) = aas.minimize_restrained(cfg.steps_per_cycle, restraint);
+        cycle_energies.push(e);
+    }
+    let report = BackmapReport {
+        n_atoms: aas.n_atoms(),
+        n_protein_residues: backbone_len(&aas),
+        cycle_energies,
+    };
+    (aas, report)
+}
+
+fn backbone_len(aas: &AaSystem) -> usize {
+    aas.backbone.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg::system::{build_membrane, MembraneConfig};
+
+    fn source() -> CgSystem {
+        let mut m = build_membrane(&MembraneConfig::small());
+        m.relax(30);
+        m.run(50);
+        m
+    }
+
+    #[test]
+    fn atom_counts_scale_with_beads() {
+        let cgs = source();
+        let cfg = BackmapConfig::default();
+        let (aas, report) = backmap(&cgs, &cfg);
+        assert_eq!(report.n_atoms, cgs.sys.len() * 4);
+        assert_eq!(aas.n_residues(), cgs.sys.len());
+        assert_eq!(report.n_protein_residues, cgs.protein.len());
+    }
+
+    #[test]
+    fn backbone_geometry_follows_cg_protein() {
+        let cgs = source();
+        let (aas, _) = backmap(&cgs, &BackmapConfig::default());
+        let bb = aas.backbone_positions();
+        for (i, &bead) in cgs.protein.iter().enumerate() {
+            let cg_pos = cgs.sys.pos[bead];
+            let d: f64 = (0..3)
+                .map(|k| (bb[i][k] - cg_pos[k]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(d < 0.5, "residue {i} drifted {d} nm from its bead");
+        }
+    }
+
+    #[test]
+    fn minimization_cycles_do_not_increase_energy() {
+        let cgs = source();
+        let (_, report) = backmap(&cgs, &BackmapConfig::default());
+        for pair in report.cycle_energies.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-6,
+                "cycle energies rose: {:?}",
+                report.cycle_energies
+            );
+        }
+    }
+
+    #[test]
+    fn atoms_per_bead_is_configurable() {
+        let cgs = source();
+        let cfg = BackmapConfig {
+            atoms_per_bead: 3,
+            ..BackmapConfig::default()
+        };
+        let (aas, _) = backmap(&cgs, &cfg);
+        assert_eq!(aas.n_atoms(), cgs.sys.len() * 3);
+    }
+
+    #[test]
+    fn backmap_is_deterministic() {
+        let cgs = source();
+        let (a, _) = backmap(&cgs, &BackmapConfig::default());
+        let (b, _) = backmap(&cgs, &BackmapConfig::default());
+        assert_eq!(a.sys.pos, b.sys.pos);
+    }
+
+    #[test]
+    fn aa_dynamics_run_after_backmap() {
+        let cgs = source();
+        let (mut aas, _) = backmap(&cgs, &BackmapConfig::default());
+        aas.run(20);
+        assert!(aas.time() > 0.0);
+        // Secondary-structure analysis consumes the result.
+        let ss = aa::assign_ss(&aas.backbone_positions());
+        assert_eq!(ss.len(), cgs.protein.len());
+    }
+}

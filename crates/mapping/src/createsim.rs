@@ -1,0 +1,267 @@
+//! createsim: continuum patch → equilibrated CG membrane system.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cg::engine::{ForceField, Integrator, MdSystem, PairTable};
+use cg::system::CgSystem;
+use continuum::Patch;
+
+/// createsim parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CreatesimConfig {
+    /// CG box side (nm); matches the patch's physical size.
+    pub side: f64,
+    /// Bilayer thickness (nm).
+    pub thickness: f64,
+    /// Lipids per leaflet per unit of mean patch density (the insane-like
+    /// area-per-lipid knob).
+    pub lipids_per_density: f64,
+    /// Protein beads for a RAS particle; a RAS-RAF complex gets ~1.7×.
+    pub ras_beads: usize,
+    /// Relaxation (equilibration) minimization steps.
+    pub relax_steps: usize,
+    /// RNG seed for placement sampling.
+    pub seed: u64,
+}
+
+impl Default for CreatesimConfig {
+    fn default() -> Self {
+        CreatesimConfig {
+            side: 30.0,
+            thickness: 4.0,
+            lipids_per_density: 40.0,
+            ras_beads: 6,
+            relax_steps: 60,
+            seed: 2021,
+        }
+    }
+}
+
+/// What createsim produced (the job's log record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreatesimReport {
+    /// Lipids placed per species (both leaflets).
+    pub lipids_per_species: Vec<usize>,
+    /// Protein bead count.
+    pub protein_beads: usize,
+    /// Energy before relaxation.
+    pub energy_before: f64,
+    /// Energy after relaxation.
+    pub energy_after: f64,
+}
+
+/// Builds and relaxes a CG system from a continuum patch.
+///
+/// The number of lipids of each species is proportional to the species'
+/// mean density over the patch window, and bead positions are drawn from
+/// the density field itself (importance sampling over cells), so the CG
+/// system inherits the patch's lipid fingerprint.
+pub fn createsim(patch: &Patch, cfg: &CreatesimConfig) -> (CgSystem, CreatesimReport) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ hash_id(&patch.id));
+    let n_species = patch.windows.len();
+    let box_l = [cfg.side, cfg.side, cfg.thickness * 3.0];
+    let z_mid = box_l[2] / 2.0;
+
+    let mut pos: Vec<[f64; 3]> = Vec::new();
+    let mut typ: Vec<u16> = Vec::new();
+    let mut bonds: Vec<(u32, u32, f64, f64)> = Vec::new();
+    let mut lipids_per_species = vec![0usize; n_species];
+
+    for (s, window) in patch.windows.iter().enumerate() {
+        let res = window.shape()[0];
+        let mean = window.data().iter().sum::<f64>() / window.len() as f64;
+        let n_lipids = (mean * cfg.lipids_per_density).round().max(0.0) as usize;
+        lipids_per_species[s] = n_lipids * 2;
+        let total: f64 = window.data().iter().sum();
+        for leaflet in 0..2 {
+            let (z_head, z_tail) = if leaflet == 0 {
+                (z_mid + cfg.thickness / 2.0, z_mid + cfg.thickness / 6.0)
+            } else {
+                (z_mid - cfg.thickness / 2.0, z_mid - cfg.thickness / 6.0)
+            };
+            for _ in 0..n_lipids {
+                // Importance-sample a window cell by density, then jitter
+                // within the cell.
+                let mut target = rng.gen_range(0.0..total.max(1e-12));
+                let mut cell = 0;
+                for (i, &v) in window.data().iter().enumerate() {
+                    target -= v;
+                    if target <= 0.0 {
+                        cell = i;
+                        break;
+                    }
+                }
+                let cy = cell / res;
+                let cx = cell % res;
+                let cell_w = cfg.side / res as f64;
+                let x = (cx as f64 + rng.gen_range(0.0..1.0)) * cell_w;
+                let y = (cy as f64 + rng.gen_range(0.0..1.0)) * cell_w;
+                let head = pos.len() as u32;
+                pos.push([x, y, z_head]);
+                typ.push(s as u16);
+                pos.push([x, y, z_tail]);
+                typ.push(n_species as u16);
+                bonds.push((head, head + 1, 20.0, cfg.thickness / 3.0));
+            }
+        }
+    }
+
+    // Protein chain at the patch center (box center), spanning the bilayer.
+    let n_beads = if patch.kind == 1 {
+        cfg.ras_beads + cfg.ras_beads * 7 / 10 // RAS-RAF carries the CRD/RBD extra
+    } else {
+        cfg.ras_beads
+    };
+    let mut protein = Vec::with_capacity(n_beads);
+    let z0 = z_mid - 0.4 * (n_beads as f64 - 1.0) / 2.0;
+    for b in 0..n_beads {
+        let idx = pos.len();
+        pos.push([cfg.side / 2.0, cfg.side / 2.0, z0 + 0.4 * b as f64]);
+        typ.push((n_species + 1) as u16);
+        protein.push(idx);
+        if b > 0 {
+            bonds.push((idx as u32 - 1, idx as u32, 50.0, 0.4));
+        }
+    }
+
+    // Martini-like force field (same shape as cg::system::build_membrane).
+    let n_types = n_species + 2;
+    let mut pairs = PairTable::uniform(n_types, 0.47, 0.05);
+    let tail = n_species;
+    let prot = n_species + 1;
+    pairs.set(tail, tail, 0.47, 0.5);
+    for s in 0..n_species {
+        pairs.set(s, tail, 0.47, 0.1);
+        pairs.set(s, prot, 0.47, if s == 0 { 0.4 } else { 0.05 });
+    }
+    pairs.set(prot, prot, 0.47, 0.2);
+
+    let ff = ForceField {
+        pairs,
+        cutoff: 1.2,
+        bonds,
+    };
+    let sys = MdSystem::new(pos, typ, box_l);
+    let mut cgs = CgSystem::from_parts(
+        sys,
+        ff,
+        n_species,
+        protein,
+        Integrator {
+            dt: 0.01,
+            gamma: 1.0,
+            kt: 0.3,
+        },
+        cfg.seed ^ hash_id(&patch.id) ^ 0x5eed,
+    );
+    let (e0, e1) = cgs.relax(cfg.relax_steps);
+    let report = CreatesimReport {
+        lipids_per_species,
+        protein_beads: n_beads,
+        energy_before: e0,
+        energy_after: e1,
+    };
+    (cgs, report)
+}
+
+/// FNV-1a of a patch id, for per-patch RNG streams.
+fn hash_id(id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in id.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum::{extract_patches, ContinuumConfig, ContinuumSim, PatchConfig};
+
+    fn a_patch() -> Patch {
+        let mut sim = ContinuumSim::new(ContinuumConfig {
+            nx: 64,
+            ny: 64,
+            h: 1.0,
+            inner_species: 2,
+            outer_species: 1,
+            n_proteins: 2,
+            ..ContinuumConfig::laptop()
+        });
+        sim.run(20);
+        let snap = sim.snapshot();
+        extract_patches(&snap, &PatchConfig::default()).remove(0)
+    }
+
+    fn small_cfg() -> CreatesimConfig {
+        CreatesimConfig {
+            side: 12.0,
+            lipids_per_density: 30.0,
+            relax_steps: 40,
+            ..CreatesimConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_system_with_density_proportional_composition() {
+        let patch = a_patch();
+        let (cgs, report) = createsim(&patch, &small_cfg());
+        assert_eq!(report.lipids_per_species.len(), 3);
+        assert!(report.lipids_per_species.iter().all(|&n| n > 0));
+        // Bead math: 2 beads per lipid + protein beads.
+        let lipid_beads: usize = report.lipids_per_species.iter().sum::<usize>() * 2;
+        assert_eq!(cgs.sys.len(), lipid_beads + report.protein_beads);
+        // Denser species get more lipids (background levels are 0.5, 0.55,
+        // 0.6 for species 0..3 in the continuum initializer).
+        assert!(report.lipids_per_species[2] >= report.lipids_per_species[0]);
+    }
+
+    #[test]
+    fn relaxation_reduces_energy() {
+        let (_, report) = createsim(&a_patch(), &small_cfg());
+        assert!(report.energy_after <= report.energy_before);
+    }
+
+    #[test]
+    fn ras_raf_patches_get_larger_proteins() {
+        let mut patch = a_patch();
+        patch.kind = 0;
+        let (_, ras) = createsim(&patch, &small_cfg());
+        patch.kind = 1;
+        let (_, rasraf) = createsim(&patch, &small_cfg());
+        assert!(rasraf.protein_beads > ras.protein_beads);
+    }
+
+    #[test]
+    fn protein_sits_at_box_center() {
+        let cfg = small_cfg();
+        let (cgs, _) = createsim(&a_patch(), &cfg);
+        let mid = cfg.side / 2.0;
+        for &i in &cgs.protein {
+            let p = cgs.sys.pos[i];
+            assert!((p[0] - mid).abs() < 2.0 && (p[1] - mid).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_patch_id() {
+        let patch = a_patch();
+        let (a, _) = createsim(&patch, &small_cfg());
+        let (b, _) = createsim(&patch, &small_cfg());
+        assert_eq!(a.sys.pos, b.sys.pos);
+
+        let mut other = patch.clone();
+        other.id.push_str("-2");
+        let (c, _) = createsim(&other, &small_cfg());
+        assert_ne!(a.sys.pos, c.sys.pos, "different ids draw different layouts");
+    }
+
+    #[test]
+    fn runs_dynamics_after_construction() {
+        let (mut cgs, _) = createsim(&a_patch(), &small_cfg());
+        cgs.run(50);
+        assert!(cgs.time() > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Scale-coupling converters: continuum → CG (createsim) and CG → AA
+//! (backmapping).
+//!
+//! - [`createsim`] mirrors §4.1(2): "The createsim module transforms a
+//!   patch from continuum representation into a particle-based one. The
+//!   insane tool is used to create a CG representation of the membrane and
+//!   proteins. Once constructed, GROMACS is used to relax the membrane and
+//!   proteins into a more natural, equilibrated, state." Here, lipid beads
+//!   are sampled from the patch's per-species density windows, the protein
+//!   chain is planted at the patch center, and a steepest-descent
+//!   relaxation stands in for the GROMACS equilibration.
+//!
+//! - [`backmap`] mirrors §4.1(4): "a backmapping scheme that translates a
+//!   CG representation … into AA … performs cycles of energy minimization
+//!   and position-restrained MD … and finally converts the data format."
+//!   Each CG bead expands into a residue of atoms on a tetrahedral
+//!   template, followed by restrained minimization cycles with decreasing
+//!   restraint strength.
+
+mod backmapping;
+mod createsim;
+
+pub use backmapping::{backmap, BackmapConfig, BackmapReport};
+pub use createsim::{createsim, CreatesimConfig, CreatesimReport};

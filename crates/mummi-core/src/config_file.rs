@@ -1,0 +1,260 @@
+//! Configuration files.
+//!
+//! §4.3/§4.5: job trackers and the workflow are "customized using a
+//! combination of inherited classes and configuration files". This module
+//! provides the file format — a minimal INI dialect — and the parsing of
+//! [`WmConfig`] from it:
+//!
+//! ```ini
+//! # three-scale campaign, 70/30 GPU split
+//! [workflow]
+//! cg_gpu_fraction   = 0.7
+//! cg_ready_buffer   = 100
+//! poll_interval     = 2m
+//! feedback_interval = 10m
+//! submit_rate_per_min = 100
+//! cg_sim_runtime    = 24h
+//! job_failure_prob  = 0.01
+//! ```
+//!
+//! Durations accept `s`, `m`, and `h` suffixes. Unknown keys are errors —
+//! a silently ignored typo in a 24-hour allocation is an expensive typo.
+
+use std::collections::HashMap;
+
+use simcore::SimDuration;
+
+use crate::config::WmConfig;
+
+/// A parse failure with enough context to fix the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parsed INI: section → key → (value, line).
+pub type Ini = HashMap<String, HashMap<String, (String, usize)>>;
+
+/// Parses the INI dialect: `[section]` headers, `key = value` pairs,
+/// `#`/`;` comments, blank lines.
+pub fn parse_ini(text: &str) -> Result<Ini, ConfigError> {
+    let mut out: Ini = HashMap::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find(['#', ';']) {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name.strip_suffix(']').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: "unterminated section header".into(),
+            })?;
+            section = name.trim().to_string();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("expected `key = value`, got {line:?}"),
+        })?;
+        out.entry(section.clone()).or_default().insert(
+            key.trim().to_string(),
+            (value.trim().to_string(), lineno),
+        );
+    }
+    Ok(out)
+}
+
+/// Parses a duration literal: `90s`, `2m`, `24h`, or bare seconds.
+pub fn parse_duration(v: &str, line: usize) -> Result<SimDuration, ConfigError> {
+    let bad = |msg: &str| ConfigError {
+        line,
+        message: format!("{msg}: {v:?}"),
+    };
+    let (num, unit) = match v.char_indices().find(|(_, c)| c.is_ascii_alphabetic()) {
+        Some((pos, _)) => v.split_at(pos),
+        None => (v, "s"),
+    };
+    let n: f64 = num.trim().parse().map_err(|_| bad("bad duration number"))?;
+    if n < 0.0 {
+        return Err(bad("durations cannot be negative"));
+    }
+    let secs = match unit.trim() {
+        "s" => n,
+        "m" => n * 60.0,
+        "h" => n * 3600.0,
+        _ => return Err(bad("unknown duration unit (use s/m/h)")),
+    };
+    Ok(SimDuration::from_secs_f64(secs))
+}
+
+impl WmConfig {
+    /// Builds a [`WmConfig`] from INI text, starting from the defaults.
+    /// Every key in the `[workflow]` section must be recognized.
+    pub fn from_ini(text: &str) -> Result<WmConfig, ConfigError> {
+        let ini = parse_ini(text)?;
+        let mut cfg = WmConfig::default();
+        let Some(section) = ini.get("workflow") else {
+            return Ok(cfg);
+        };
+        for (key, (value, line)) in section {
+            let line = *line;
+            let bad = |msg: &str| ConfigError {
+                line,
+                message: format!("{msg} for {key}: {value:?}"),
+            };
+            match key.as_str() {
+                "cg_gpu_fraction" => {
+                    cfg.cg_gpu_fraction =
+                        value.parse().map_err(|_| bad("expected a float"))?;
+                }
+                "cg_ready_buffer" => {
+                    cfg.cg_ready_buffer =
+                        value.parse().map_err(|_| bad("expected an integer"))?;
+                }
+                "aa_ready_buffer" => {
+                    cfg.aa_ready_buffer =
+                        value.parse().map_err(|_| bad("expected an integer"))?;
+                }
+                "poll_interval" => cfg.poll_interval = parse_duration(value, line)?,
+                "feedback_interval" => cfg.feedback_interval = parse_duration(value, line)?,
+                "profile_interval" => cfg.profile_interval = parse_duration(value, line)?,
+                "submit_rate_per_min" => {
+                    cfg.submit_rate_per_min =
+                        value.parse().map_err(|_| bad("expected an integer"))?;
+                }
+                "cg_sim_runtime" => cfg.cg_sim_runtime = parse_duration(value, line)?,
+                "aa_sim_runtime" => cfg.aa_sim_runtime = parse_duration(value, line)?,
+                "cg_setup_runtime" => cfg.cg_setup_runtime = parse_duration(value, line)?,
+                "aa_setup_runtime" => cfg.aa_setup_runtime = parse_duration(value, line)?,
+                "job_failure_prob" => {
+                    cfg.job_failure_prob =
+                        value.parse().map_err(|_| bad("expected a float"))?;
+                }
+                "record_history" => {
+                    cfg.record_history =
+                        value.parse().map_err(|_| bad("expected true/false"))?;
+                }
+                "seed" => {
+                    cfg.seed = value.parse().map_err(|_| bad("expected an integer"))?;
+                }
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("unknown [workflow] key: {other}"),
+                    })
+                }
+            }
+        }
+        if !(0.0..=1.0).contains(&cfg.cg_gpu_fraction) {
+            return Err(ConfigError {
+                line: 0,
+                message: format!("cg_gpu_fraction must be in [0,1]: {}", cfg.cg_gpu_fraction),
+            });
+        }
+        if !(0.0..=1.0).contains(&cfg.job_failure_prob) {
+            return Err(ConfigError {
+                line: 0,
+                message: format!("job_failure_prob must be in [0,1]: {}", cfg.job_failure_prob),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_workflow_section_parses() {
+        let cfg = WmConfig::from_ini(
+            r#"
+            # campaign config
+            [workflow]
+            cg_gpu_fraction   = 0.75
+            cg_ready_buffer   = 123
+            aa_ready_buffer   = 45
+            poll_interval     = 2m
+            feedback_interval = 10m   ; target
+            profile_interval  = 600s
+            submit_rate_per_min = 100
+            cg_sim_runtime    = 24h
+            aa_sim_runtime    = 12h
+            cg_setup_runtime  = 90m
+            aa_setup_runtime  = 2h
+            job_failure_prob  = 0.02
+            record_history    = false
+            seed              = 42
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.cg_gpu_fraction, 0.75);
+        assert_eq!(cfg.cg_ready_buffer, 123);
+        assert_eq!(cfg.aa_ready_buffer, 45);
+        assert_eq!(cfg.poll_interval, SimDuration::from_mins(2));
+        assert_eq!(cfg.feedback_interval, SimDuration::from_mins(10));
+        assert_eq!(cfg.profile_interval, SimDuration::from_mins(10));
+        assert_eq!(cfg.cg_sim_runtime, SimDuration::from_hours(24));
+        assert_eq!(cfg.cg_setup_runtime, SimDuration::from_mins(90));
+        assert_eq!(cfg.job_failure_prob, 0.02);
+        assert!(!cfg.record_history);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn empty_and_missing_section_use_defaults() {
+        let cfg = WmConfig::from_ini("").unwrap();
+        assert_eq!(cfg.cg_gpu_fraction, WmConfig::default().cg_gpu_fraction);
+        let cfg = WmConfig::from_ini("[other]\nx = 1\n").unwrap();
+        assert_eq!(cfg.seed, WmConfig::default().seed);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_line_numbers() {
+        let err = WmConfig::from_ini("[workflow]\ncg_gpu_fractoin = 0.7\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(WmConfig::from_ini("[workflow]\nseed = many\n").is_err());
+        assert!(WmConfig::from_ini("[workflow]\npoll_interval = 5 days\n").is_err());
+        assert!(WmConfig::from_ini("[workflow]\npoll_interval = -3s\n").is_err());
+        assert!(WmConfig::from_ini("[workflow]\ncg_gpu_fraction = 1.5\n").is_err());
+        assert!(WmConfig::from_ini("[workflow\nseed = 1\n").is_err());
+        assert!(WmConfig::from_ini("[workflow]\njust a line\n").is_err());
+    }
+
+    #[test]
+    fn durations_parse_all_units() {
+        assert_eq!(parse_duration("90s", 1).unwrap(), SimDuration::from_secs(90));
+        assert_eq!(parse_duration("1.5m", 1).unwrap(), SimDuration::from_secs(90));
+        assert_eq!(parse_duration("2h", 1).unwrap(), SimDuration::from_hours(2));
+        assert_eq!(parse_duration("45", 1).unwrap(), SimDuration::from_secs(45));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let ini = parse_ini("  # lead\n[ workflow ]\n  seed=9 # trail\n").unwrap();
+        assert_eq!(ini["workflow"]["seed"].0, "9");
+    }
+}

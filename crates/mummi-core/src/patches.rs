@@ -1,0 +1,146 @@
+//! Task 1: processing coarse-scale data for consumption.
+//!
+//! "The WM coordinates the Patch Creator, which reads each snapshot,
+//! creates patches, and outputs them for consumption by the rest of the
+//! framework" (§4.4 Task 1). Each patch is written to the data store (the
+//! portable "Numpy format" analogue) and encoded into a candidate point
+//! for the patch selector.
+
+use continuum::{extract_patches, Patch, PatchConfig, Snapshot};
+use datastore::DataStore;
+use dynim::HdPoint;
+
+/// Encodes a patch's feature vector into selector coordinates.
+pub type PatchEncoder = Box<dyn Fn(&[f64]) -> Vec<f64> + Send>;
+
+/// The patch creator: snapshot in, stored patches + candidates out.
+pub struct PatchCreator {
+    cfg: PatchConfig,
+    encoder: PatchEncoder,
+    created: u64,
+    snapshots: u64,
+}
+
+impl std::fmt::Debug for PatchCreator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatchCreator")
+            .field("created", &self.created)
+            .field("snapshots", &self.snapshots)
+            .finish()
+    }
+}
+
+impl PatchCreator {
+    /// Creates a patch creator with an encoder (identity, PCA, or a
+    /// trained autoencoder — the WM is agnostic).
+    pub fn new(cfg: PatchConfig, encoder: PatchEncoder) -> PatchCreator {
+        PatchCreator {
+            cfg,
+            encoder,
+            created: 0,
+            snapshots: 0,
+        }
+    }
+
+    /// Patches created so far (the campaign created 6,828,831).
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Snapshots processed so far (the campaign processed 20,507).
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Processes one snapshot: stores every patch and returns the
+    /// candidate points (with the patch's protein state as the queue-routing
+    /// hint encoded in the candidate, see [`crate::app3`]).
+    pub fn process(
+        &mut self,
+        snap: &Snapshot,
+        store: &mut dyn DataStore,
+    ) -> datastore::Result<Vec<(HdPoint, Patch)>> {
+        let patches = extract_patches(snap, &self.cfg);
+        let mut out = Vec::with_capacity(patches.len());
+        for patch in patches {
+            store.write(crate::ns::PATCHES, &patch.id, &patch.encode())?;
+            let features = patch.feature_vector(&self.cfg);
+            let coords = (self.encoder)(&features);
+            out.push((HdPoint::new(patch.id.clone(), coords), patch));
+            self.created += 1;
+        }
+        self.snapshots += 1;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum::{ContinuumConfig, ContinuumSim};
+    use datastore::{DataStore, KvDataStore};
+
+    fn snapshot() -> Snapshot {
+        let mut sim = ContinuumSim::new(ContinuumConfig {
+            nx: 48,
+            ny: 48,
+            h: 1.0,
+            inner_species: 2,
+            outer_species: 1,
+            n_proteins: 6,
+            ..ContinuumConfig::laptop()
+        });
+        sim.run(10);
+        sim.snapshot()
+    }
+
+    fn creator() -> PatchCreator {
+        PatchCreator::new(
+            PatchConfig {
+                size_nm: 10.0,
+                resolution: 11,
+                feature_grid: 2,
+            },
+            Box::new(|f: &[f64]| f[..9.min(f.len())].to_vec()),
+        )
+    }
+
+    #[test]
+    fn stores_patches_and_emits_candidates() {
+        let mut store = KvDataStore::new(4);
+        let mut pc = creator();
+        let snap = snapshot();
+        let cands = pc.process(&snap, &mut store).unwrap();
+        assert_eq!(cands.len(), 6);
+        assert_eq!(pc.created(), 6);
+        assert_eq!(pc.snapshots(), 1);
+        assert_eq!(store.count(crate::ns::PATCHES).unwrap(), 6);
+        for (point, patch) in &cands {
+            assert_eq!(point.id, patch.id);
+            assert_eq!(point.dim(), 9);
+        }
+    }
+
+    #[test]
+    fn stored_patches_roundtrip() {
+        let mut store = KvDataStore::new(4);
+        let mut pc = creator();
+        let snap = snapshot();
+        let cands = pc.process(&snap, &mut store).unwrap();
+        let (point, original) = &cands[0];
+        let bytes = store.read(crate::ns::PATCHES, &point.id).unwrap();
+        let loaded = continuum::Patch::decode(&point.id, &bytes).unwrap();
+        assert_eq!(&loaded, original);
+    }
+
+    #[test]
+    fn counters_accumulate_across_snapshots() {
+        let mut store = KvDataStore::new(4);
+        let mut pc = creator();
+        for _ in 0..3 {
+            pc.process(&snapshot(), &mut store).unwrap();
+        }
+        assert_eq!(pc.snapshots(), 3);
+        assert_eq!(pc.created(), 18);
+    }
+}

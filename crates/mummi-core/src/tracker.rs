@@ -1,0 +1,343 @@
+//! Abstract job tracking (§4.3).
+//!
+//! "To support handling arbitrary types of jobs, we provide a generic and
+//! abstract Job Tracker that can be customized using a combination of
+//! inherited classes and configuration files." A [`JobTracker`] owns one
+//! class of jobs: it submits them with the configured resource shape and
+//! runtime model, maps scheduler events back to application payloads
+//! (patch ids, simulation ids), and resubmits failures up to a budget.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use resources::JobShape;
+use sched::{JobClass, JobEvent, JobId, JobSpec, Launcher};
+use simcore::{SimDuration, SimTime};
+
+/// Per-class tracker configuration.
+#[derive(Debug, Clone)]
+pub struct TrackerConfig {
+    /// Scheduler class of the jobs.
+    pub class: JobClass,
+    /// Resource shape of each job.
+    pub shape: JobShape,
+    /// Base virtual runtime.
+    pub runtime: SimDuration,
+    /// Uniform runtime jitter as a fraction of the base (0.2 = ±20%).
+    pub runtime_jitter: f64,
+    /// Probability a submitted job fails and needs resubmission.
+    pub failure_prob: f64,
+    /// Resubmission budget per payload; beyond it the payload is dropped.
+    pub max_resubmits: u32,
+}
+
+impl TrackerConfig {
+    /// A tracker for `class` with shape and runtime, no jitter/failures.
+    pub fn new(class: JobClass, shape: JobShape, runtime: SimDuration) -> TrackerConfig {
+        TrackerConfig {
+            class,
+            shape,
+            runtime,
+            runtime_jitter: 0.0,
+            failure_prob: 0.0,
+            max_resubmits: 3,
+        }
+    }
+}
+
+/// What a tracked job's completion means to the workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tracked {
+    /// The job was placed on resources.
+    Started {
+        /// Scheduler id.
+        job: JobId,
+        /// Application payload (patch/frame/simulation id).
+        payload: String,
+    },
+    /// The job finished successfully.
+    Done {
+        /// Application payload.
+        payload: String,
+    },
+    /// The job failed and was resubmitted.
+    Resubmitted {
+        /// Application payload.
+        payload: String,
+        /// Which attempt this will be (1-based).
+        attempt: u32,
+    },
+    /// The job failed and exhausted its resubmission budget.
+    Abandoned {
+        /// Application payload.
+        payload: String,
+    },
+}
+
+/// Tracks one class of jobs end to end.
+#[derive(Debug)]
+pub struct JobTracker {
+    cfg: TrackerConfig,
+    live: HashMap<JobId, String>,
+    attempts: HashMap<String, u32>,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+}
+
+impl JobTracker {
+    /// Creates a tracker.
+    pub fn new(cfg: TrackerConfig) -> JobTracker {
+        JobTracker {
+            cfg,
+            live: HashMap::new(),
+            attempts: HashMap::new(),
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+        }
+    }
+
+    /// The tracker's job class.
+    pub fn class(&self) -> JobClass {
+        self.cfg.class
+    }
+
+    /// (submitted, completed, failed) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.submitted, self.completed, self.failed)
+    }
+
+    /// Jobs currently live (submitted or running) under this tracker.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// (running, pending) from the launcher for this class.
+    pub fn counts(&self, launcher: &dyn Launcher) -> (u64, u64) {
+        launcher.class_counts(self.cfg.class)
+    }
+
+    /// Submits one job for `payload` at time `at`, with the configured
+    /// (jittered) runtime.
+    pub fn submit(
+        &mut self,
+        launcher: &mut dyn Launcher,
+        payload: &str,
+        at: SimTime,
+        rng: &mut StdRng,
+    ) -> JobId {
+        let jitter = if self.cfg.runtime_jitter > 0.0 {
+            1.0 + rng.gen_range(-self.cfg.runtime_jitter..self.cfg.runtime_jitter)
+        } else {
+            1.0
+        };
+        let runtime = self.cfg.runtime.mul_f64(jitter);
+        self.submit_with(launcher, payload, at, runtime, rng)
+    }
+
+    /// Submits one job with an explicit runtime (per-payload runtime
+    /// models, e.g. remaining-length-to-target in the campaign DES).
+    pub fn submit_with(
+        &mut self,
+        launcher: &mut dyn Launcher,
+        payload: &str,
+        at: SimTime,
+        runtime: SimDuration,
+        rng: &mut StdRng,
+    ) -> JobId {
+        let mut spec = JobSpec::new(self.cfg.class, self.cfg.shape, runtime);
+        if self.cfg.failure_prob > 0.0 && rng.gen_bool(self.cfg.failure_prob) {
+            spec = spec.failing();
+        }
+        let id = launcher.submit(spec, at);
+        self.live.insert(id, payload.to_string());
+        *self.attempts.entry(payload.to_string()).or_insert(0) += 1;
+        self.submitted += 1;
+        id
+    }
+
+    /// Routes a scheduler event owned by this tracker. Returns `None` for
+    /// events about other trackers' jobs. Failed jobs are resubmitted
+    /// immediately (at the finish time) until the budget runs out.
+    pub fn on_event(
+        &mut self,
+        launcher: &mut dyn Launcher,
+        event: &JobEvent,
+        rng: &mut StdRng,
+    ) -> Option<Tracked> {
+        match *event {
+            JobEvent::Placed { id, .. } => {
+                let payload = self.live.get(&id)?.clone();
+                Some(Tracked::Started { job: id, payload })
+            }
+            JobEvent::Finished { id, at, success } => {
+                let payload = self.live.remove(&id)?;
+                if success {
+                    self.completed += 1;
+                    self.attempts.remove(&payload);
+                    Some(Tracked::Done { payload })
+                } else {
+                    self.failed += 1;
+                    let attempt = self.attempts.get(&payload).copied().unwrap_or(0);
+                    if attempt <= self.cfg.max_resubmits {
+                        self.submit(launcher, &payload, at, rng);
+                        Some(Tracked::Resubmitted {
+                            payload,
+                            attempt: attempt + 1,
+                        })
+                    } else {
+                        self.attempts.remove(&payload);
+                        Some(Tracked::Abandoned { payload })
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use resources::{MachineSpec, MatchPolicy, NodeSpec, ResourceGraph};
+    use sched::{Costs, Coupling, SchedEngine};
+
+    fn launcher(nodes: u32) -> SchedEngine {
+        SchedEngine::new(
+            ResourceGraph::new(MachineSpec::custom("t", nodes, NodeSpec::summit())),
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        )
+    }
+
+    fn sim_tracker(failure_prob: f64) -> JobTracker {
+        JobTracker::new(TrackerConfig {
+            failure_prob,
+            ..TrackerConfig::new(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                SimDuration::from_mins(10),
+            )
+        })
+    }
+
+    #[test]
+    fn lifecycle_maps_payloads() {
+        let mut l = launcher(1);
+        let mut t = sim_tracker(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let id = t.submit(&mut l, "patch-42", SimTime::ZERO, &mut rng);
+        let events = l.poll(SimTime::from_secs(1));
+        let tracked: Vec<Tracked> = events
+            .iter()
+            .filter_map(|e| t.on_event(&mut l, e, &mut rng))
+            .collect();
+        assert_eq!(
+            tracked,
+            vec![Tracked::Started {
+                job: id,
+                payload: "patch-42".into()
+            }]
+        );
+        let events = l.poll(SimTime::from_mins(11));
+        let tracked: Vec<Tracked> = events
+            .iter()
+            .filter_map(|e| t.on_event(&mut l, e, &mut rng))
+            .collect();
+        assert_eq!(
+            tracked,
+            vec![Tracked::Done {
+                payload: "patch-42".into()
+            }]
+        );
+        assert_eq!(t.counters(), (1, 1, 0));
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn failures_are_resubmitted_until_budget() {
+        let mut l = launcher(1);
+        let mut t = JobTracker::new(TrackerConfig {
+            failure_prob: 1.0, // every attempt fails
+            max_resubmits: 2,
+            ..TrackerConfig::new(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                SimDuration::from_mins(1),
+            )
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        t.submit(&mut l, "doomed", SimTime::ZERO, &mut rng);
+        let mut resubmits = 0;
+        let mut abandoned = false;
+        for round in 1..20 {
+            let events = l.poll(SimTime::from_mins(2 * round));
+            for e in &events {
+                match t.on_event(&mut l, e, &mut rng) {
+                    Some(Tracked::Resubmitted { attempt, .. }) => {
+                        resubmits += 1;
+                        assert!(attempt <= 3);
+                    }
+                    Some(Tracked::Abandoned { payload }) => {
+                        assert_eq!(payload, "doomed");
+                        abandoned = true;
+                    }
+                    _ => {}
+                }
+            }
+            if abandoned {
+                break;
+            }
+        }
+        assert_eq!(resubmits, 2, "budget of 2 resubmits");
+        assert!(abandoned, "payload finally abandoned");
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn events_for_other_trackers_are_ignored() {
+        let mut l = launcher(1);
+        let mut cg = sim_tracker(0.0);
+        let mut other = JobTracker::new(TrackerConfig::new(
+            JobClass::AaSim,
+            JobShape::sim_standard(),
+            SimDuration::from_mins(5),
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        cg.submit(&mut l, "mine", SimTime::ZERO, &mut rng);
+        let events = l.poll(SimTime::from_secs(1));
+        for e in &events {
+            assert!(other.on_event(&mut l, e, &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn runtime_jitter_varies_finish_times() {
+        let mut l = launcher(4);
+        let mut t = JobTracker::new(TrackerConfig {
+            runtime_jitter: 0.5,
+            ..TrackerConfig::new(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                SimDuration::from_mins(100),
+            )
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..10 {
+            t.submit(&mut l, &format!("p{i}"), SimTime::ZERO, &mut rng);
+        }
+        l.poll(SimTime::from_secs(1));
+        let events = l.poll(SimTime::from_mins(300));
+        let finish_times: std::collections::HashSet<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::Finished { at, .. } => Some(at.as_micros()),
+                _ => None,
+            })
+            .collect();
+        assert!(finish_times.len() > 5, "jitter should spread finish times");
+    }
+}

@@ -1,0 +1,556 @@
+//! The resource graph: allocation state and matching policies.
+
+use std::collections::HashMap;
+
+use crate::shape::{Affinity, JobShape};
+use crate::topology::MachineSpec;
+use crate::NodeId;
+
+/// How the matcher selects among feasible resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchPolicy {
+    /// Score *every* node for feasibility, then take the lowest-ID feasible
+    /// set — the "low resource ID first" policy MuMMI configured in Flux,
+    /// whose full-graph traversal became the 4000-node bottleneck.
+    LowIdExhaustive,
+    /// Stop at the first feasible node set, greedily — the fix the paper
+    /// reports as a 670× matcher improvement.
+    FirstMatch,
+}
+
+/// Resources granted to one job on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAlloc {
+    /// Which node.
+    pub node: NodeId,
+    /// Bitmask of allocated cores (bit i = core i).
+    pub core_mask: u64,
+    /// Bitmask of allocated GPUs (bit i = GPU i).
+    pub gpu_mask: u8,
+}
+
+/// A complete allocation: one [`NodeAlloc`] per requested node-slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alloc {
+    /// Per-node grants.
+    pub slices: Vec<NodeAlloc>,
+}
+
+impl Alloc {
+    /// Total GPUs held.
+    pub fn gpus(&self) -> u64 {
+        self.slices.iter().map(|s| s.gpu_mask.count_ones() as u64).sum()
+    }
+
+    /// Total cores held.
+    pub fn cores(&self) -> u64 {
+        self.slices.iter().map(|s| s.core_mask.count_ones() as u64).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    /// Bitmask of *free* cores.
+    free_cores: u64,
+    /// Bitmask of *free* GPUs.
+    free_gpus: u8,
+    /// Drained nodes accept no new work (existing jobs keep running).
+    drained: bool,
+}
+
+/// Allocation state for a whole machine plus matcher instrumentation.
+#[derive(Debug, Clone)]
+pub struct ResourceGraph {
+    spec: MachineSpec,
+    nodes: Vec<NodeState>,
+    used_cores: u64,
+    used_gpus: u64,
+    visited_last: u64,
+    visited_total: u64,
+    /// Per-shape scan cursor for [`MatchPolicy::FirstMatch`]: every node
+    /// below the cursor is known infeasible for that shape until a release
+    /// touches it. This is the pruning that makes greedy first-match fast
+    /// even on a nearly-full 4000-node graph.
+    scan_hints: HashMap<JobShape, usize>,
+}
+
+impl ResourceGraph {
+    /// Builds an all-free graph for `spec`.
+    ///
+    /// # Panics
+    /// Panics if a node has more than 64 cores or 8 GPUs (bitmask limits).
+    pub fn new(spec: MachineSpec) -> ResourceGraph {
+        assert!(spec.node.cores() <= 64, "core bitmask limit is 64");
+        assert!(spec.node.gpus <= 8, "gpu bitmask limit is 8");
+        let all_cores = mask_lo_u64(spec.node.cores());
+        let all_gpus = mask_lo_u8(spec.node.gpus);
+        ResourceGraph {
+            nodes: vec![
+                NodeState {
+                    free_cores: all_cores,
+                    free_gpus: all_gpus,
+                    drained: false,
+                };
+                spec.nodes as usize
+            ],
+            spec,
+            used_cores: 0,
+            used_gpus: 0,
+            visited_last: 0,
+            visited_total: 0,
+            scan_hints: HashMap::new(),
+        }
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// (used, total) GPUs.
+    pub fn gpu_usage(&self) -> (u64, u64) {
+        (self.used_gpus, self.spec.total_gpus())
+    }
+
+    /// (used, total) cores.
+    pub fn cpu_usage(&self) -> (u64, u64) {
+        (self.used_cores, self.spec.total_cores())
+    }
+
+    /// Nodes inspected by the most recent `try_alloc` call.
+    pub fn visited_last(&self) -> u64 {
+        self.visited_last
+    }
+
+    /// Nodes inspected across all `try_alloc` calls (the ablation metric).
+    pub fn visited_total(&self) -> u64 {
+        self.visited_total
+    }
+
+    /// Resets the visited counters.
+    pub fn reset_visited(&mut self) {
+        self.visited_last = 0;
+        self.visited_total = 0;
+    }
+
+    /// Marks a node as drained: running jobs continue, new placements skip
+    /// it. This is Flux's node-failure response the paper leans on.
+    pub fn drain(&mut self, node: NodeId) {
+        self.nodes[node as usize].drained = true;
+    }
+
+    /// Returns a drained node to service.
+    pub fn undrain(&mut self, node: NodeId) {
+        self.nodes[node as usize].drained = false;
+        for hint in self.scan_hints.values_mut() {
+            *hint = (*hint).min(node as usize);
+        }
+    }
+
+    /// Whether a node is drained.
+    pub fn is_drained(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].drained
+    }
+
+    /// Attempts to allocate `shape` under `policy`. Returns `None` when the
+    /// request cannot currently be satisfied (nothing is held in that case).
+    pub fn try_alloc(&mut self, shape: &JobShape, policy: MatchPolicy) -> Option<Alloc> {
+        let want = shape.nodes as usize;
+        if want == 0 {
+            return Some(Alloc { slices: vec![] });
+        }
+        let exhaustive = policy == MatchPolicy::LowIdExhaustive;
+        // First-match starts at the shape's scan cursor; the exhaustive
+        // low-ID policy always walks the whole graph (the modeled Flux
+        // traversal cost).
+        let start = if exhaustive {
+            0
+        } else {
+            *self.scan_hints.get(shape).unwrap_or(&0)
+        };
+        let mut found: Vec<NodeAlloc> = Vec::with_capacity(want);
+        let mut visited = 0u64;
+        for id in start..self.nodes.len() {
+            if !exhaustive && found.len() == want {
+                break;
+            }
+            visited += 1;
+            if found.len() < want {
+                if let Some(slice) = self.match_node(id as NodeId, shape) {
+                    found.push(slice);
+                } else if !exhaustive && found.is_empty() {
+                    // Everything up to here is infeasible for this shape;
+                    // remember that until a release invalidates it.
+                    self.scan_hints.insert(*shape, id + 1);
+                }
+            }
+        }
+        self.visited_last = visited;
+        self.visited_total += visited;
+        if found.len() < want {
+            return None;
+        }
+        for slice in &found {
+            self.commit(slice);
+        }
+        Some(Alloc { slices: found })
+    }
+
+    /// Releases an allocation obtained from [`ResourceGraph::try_alloc`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when resources are released twice.
+    pub fn release(&mut self, alloc: &Alloc) {
+        // Freed capacity may make low nodes feasible again for any shape.
+        if let Some(lowest) = alloc.slices.iter().map(|s| s.node as usize).min() {
+            for hint in self.scan_hints.values_mut() {
+                *hint = (*hint).min(lowest);
+            }
+        }
+        for s in &alloc.slices {
+            let node = &mut self.nodes[s.node as usize];
+            debug_assert_eq!(node.free_cores & s.core_mask, 0, "double release of cores");
+            debug_assert_eq!(node.free_gpus & s.gpu_mask, 0, "double release of gpus");
+            node.free_cores |= s.core_mask;
+            node.free_gpus |= s.gpu_mask;
+            self.used_cores -= s.core_mask.count_ones() as u64;
+            self.used_gpus -= s.gpu_mask.count_ones() as u64;
+        }
+    }
+
+    fn commit(&mut self, s: &NodeAlloc) {
+        let node = &mut self.nodes[s.node as usize];
+        node.free_cores &= !s.core_mask;
+        node.free_gpus &= !s.gpu_mask;
+        self.used_cores += s.core_mask.count_ones() as u64;
+        self.used_gpus += s.gpu_mask.count_ones() as u64;
+    }
+
+    /// Tries to carve one node-slice of `shape` out of node `id`.
+    fn match_node(&self, id: NodeId, shape: &JobShape) -> Option<NodeAlloc> {
+        let st = &self.nodes[id as usize];
+        if st.drained {
+            return None;
+        }
+        if st.free_gpus.count_ones() < shape.gpus_per_node
+            || st.free_cores.count_ones() < shape.cores_per_node
+        {
+            return None;
+        }
+        match shape.affinity {
+            Affinity::None => {
+                let gpu_mask = lowest_bits_u8(st.free_gpus, shape.gpus_per_node)?;
+                let core_mask = lowest_bits_u64(st.free_cores, shape.cores_per_node)?;
+                Some(NodeAlloc {
+                    node: id,
+                    core_mask,
+                    gpu_mask,
+                })
+            }
+            Affinity::PackCores => {
+                // Deliberate placement (§4.3): CPU-only jobs spread evenly
+                // across sockets and take the *highest* core IDs, keeping
+                // the PCIe-adjacent low cores of every socket free so no
+                // GPU is stranded on nodes that host setup/continuum work.
+                let sockets = self.spec.node.sockets;
+                let mut core_mask = 0u64;
+                let mut need = shape.cores_per_node;
+                let per_socket = need.div_ceil(sockets);
+                for s in 0..sockets {
+                    if need == 0 {
+                        break;
+                    }
+                    let avail = st.free_cores & socket_mask(&self.spec, s);
+                    let take = per_socket.min(need).min(avail.count_ones());
+                    if take > 0 {
+                        core_mask |= highest_bits_u64(avail, take).expect("count checked");
+                        need -= take;
+                    }
+                }
+                // Second pass: any remainder from wherever it fits.
+                for s in 0..sockets {
+                    if need == 0 {
+                        break;
+                    }
+                    let avail = st.free_cores & socket_mask(&self.spec, s) & !core_mask;
+                    let take = need.min(avail.count_ones());
+                    if take > 0 {
+                        core_mask |= highest_bits_u64(avail, take).expect("count checked");
+                        need -= take;
+                    }
+                }
+                if need > 0 {
+                    return None;
+                }
+                Some(NodeAlloc {
+                    node: id,
+                    core_mask,
+                    gpu_mask: 0,
+                })
+            }
+            Affinity::PackNearGpu => {
+                // Allocate each GPU with cores on its own socket; cores are
+                // the lowest free IDs on that socket (nearest PCIe).
+                let mut free_cores = st.free_cores;
+                let mut free_gpus = st.free_gpus;
+                let mut core_mask = 0u64;
+                let mut gpu_mask = 0u8;
+                let cores_per_gpu = shape.cores_per_node / shape.gpus_per_node.max(1);
+                let mut remainder = shape.cores_per_node % shape.gpus_per_node.max(1);
+                for _ in 0..shape.gpus_per_node {
+                    let want = cores_per_gpu + if remainder > 0 { 1 } else { 0 };
+                    remainder = remainder.saturating_sub(1);
+                    let mut placed = false;
+                    for g in 0..self.spec.node.gpus {
+                        if free_gpus & (1 << g) == 0 {
+                            continue;
+                        }
+                        let sm = socket_mask(&self.spec, self.spec.node.socket_of_gpu(g));
+                        let avail = free_cores & sm;
+                        if avail.count_ones() >= want {
+                            let cm = lowest_bits_u64(avail, want).expect("count checked");
+                            free_gpus &= !(1 << g);
+                            free_cores &= !cm;
+                            gpu_mask |= 1 << g;
+                            core_mask |= cm;
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        return None;
+                    }
+                }
+                Some(NodeAlloc {
+                    node: id,
+                    core_mask,
+                    gpu_mask,
+                })
+            }
+        }
+    }
+}
+
+/// Bitmask of the cores on `socket`.
+fn socket_mask(spec: &MachineSpec, socket: u32) -> u64 {
+    let r = spec.node.cores_on_socket(socket);
+    mask_lo_u64(r.end) & !mask_lo_u64(r.start)
+}
+
+fn mask_lo_u64(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+fn mask_lo_u8(n: u32) -> u8 {
+    if n >= 8 {
+        u8::MAX
+    } else {
+        (1u8 << n) - 1
+    }
+}
+
+/// Picks the `count` lowest set bits of `mask`, or `None` if too few.
+fn lowest_bits_u64(mask: u64, count: u32) -> Option<u64> {
+    if mask.count_ones() < count {
+        return None;
+    }
+    let mut out = 0u64;
+    let mut m = mask;
+    for _ in 0..count {
+        let b = m & m.wrapping_neg();
+        out |= b;
+        m &= !b;
+    }
+    Some(out)
+}
+
+/// Picks the `count` lowest set bits of an 8-bit mask.
+fn lowest_bits_u8(mask: u8, count: u32) -> Option<u8> {
+    lowest_bits_u64(mask as u64, count).map(|m| m as u8)
+}
+
+/// Picks the `count` highest set bits of `mask`, or `None` if too few.
+fn highest_bits_u64(mask: u64, count: u32) -> Option<u64> {
+    if mask.count_ones() < count {
+        return None;
+    }
+    let mut out = 0u64;
+    let mut m = mask;
+    for _ in 0..count {
+        let b = 63 - m.leading_zeros();
+        out |= 1u64 << b;
+        m &= !(1u64 << b);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeSpec;
+
+    fn small(nodes: u32) -> ResourceGraph {
+        ResourceGraph::new(MachineSpec::custom("test", nodes, NodeSpec::summit()))
+    }
+
+    #[test]
+    fn sim_jobs_fill_node_gpu_by_gpu() {
+        let mut g = small(1);
+        let mut allocs = Vec::new();
+        for _ in 0..6 {
+            allocs.push(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap());
+        }
+        assert_eq!(g.gpu_usage(), (6, 6));
+        // 7th sim does not fit (no GPUs).
+        assert!(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_none());
+        // Each sim got 2 cores, packed near its GPU's socket.
+        assert_eq!(g.cpu_usage().0, 12);
+        for a in &allocs {
+            g.release(a);
+        }
+        assert_eq!(g.gpu_usage().0, 0);
+        assert_eq!(g.cpu_usage().0, 0);
+    }
+
+    #[test]
+    fn near_gpu_cores_share_the_gpus_socket() {
+        let mut g = small(1);
+        let a = g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        let slice = a.slices[0];
+        let gpu = slice.gpu_mask.trailing_zeros();
+        let socket = NodeSpec::summit().socket_of_gpu(gpu);
+        let r = NodeSpec::summit().cores_on_socket(socket);
+        for c in 0..64 {
+            if slice.core_mask & (1 << c) != 0 {
+                assert!(r.contains(&(c as u32)), "core {c} not on socket {socket}");
+            }
+        }
+    }
+
+    #[test]
+    fn setup_jobs_leave_gpus_untouched() {
+        let mut g = small(1);
+        let a = g.try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch).unwrap();
+        assert_eq!(a.gpus(), 0);
+        assert_eq!(a.cores(), 24);
+        assert_eq!(g.gpu_usage().0, 0);
+    }
+
+    #[test]
+    fn multi_node_continuum_job() {
+        let mut g = small(200);
+        let a = g.try_alloc(&JobShape::continuum(150), MatchPolicy::FirstMatch).unwrap();
+        assert_eq!(a.slices.len(), 150);
+        assert_eq!(a.cores(), 3600);
+        let nodes: std::collections::HashSet<NodeId> =
+            a.slices.iter().map(|s| s.node).collect();
+        assert_eq!(nodes.len(), 150, "slices must land on distinct nodes");
+    }
+
+    #[test]
+    fn insufficient_resources_hold_nothing() {
+        let mut g = small(2);
+        let before = g.cpu_usage().0;
+        assert!(g.try_alloc(&JobShape::continuum(3), MatchPolicy::FirstMatch).is_none());
+        assert_eq!(g.cpu_usage().0, before, "failed alloc must not leak");
+    }
+
+    #[test]
+    fn first_match_visits_fewer_nodes_than_exhaustive() {
+        let mut g = small(1000);
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        let fm = g.visited_last();
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive).unwrap();
+        let ex = g.visited_last();
+        assert_eq!(fm, 1);
+        assert_eq!(ex, 1000);
+    }
+
+    #[test]
+    fn drained_nodes_are_skipped() {
+        let mut g = small(2);
+        g.drain(0);
+        let a = g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        assert_eq!(a.slices[0].node, 1);
+        g.undrain(0);
+        let b = g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        assert_eq!(b.slices[0].node, 0);
+    }
+
+    #[test]
+    fn draining_whole_machine_blocks_allocation() {
+        let mut g = small(3);
+        for n in 0..3 {
+            g.drain(n);
+        }
+        assert!(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_none());
+        assert!(g.is_drained(2));
+    }
+
+    #[test]
+    fn bundled_job_takes_all_gpus_of_a_node() {
+        let mut g = small(1);
+        let a = g
+            .try_alloc(&JobShape::sim_bundled(6, 5), MatchPolicy::FirstMatch)
+            .unwrap();
+        assert_eq!(a.gpus(), 6);
+        assert!(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_none());
+        g.release(&a);
+    }
+
+    #[test]
+    fn mixed_setup_and_sim_jobs_coexist_on_a_node() {
+        // A 24-core setup job takes 12 high cores from each socket, so
+        // every socket keeps 10 low (PCIe-adjacent) cores and all six GPUs
+        // can still host 2-core sims — the paper's "reserving all GPUs for
+        // simulations" placement.
+        let mut g = small(1);
+        let setup = g.try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch).unwrap();
+        let mut sims = 0;
+        while g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_some() {
+            sims += 1;
+        }
+        assert_eq!(sims, 6, "no GPU may be stranded by a setup job");
+        let _ = setup;
+    }
+
+    #[test]
+    fn pack_cores_takes_high_ids_balanced_across_sockets() {
+        let mut g = small(1);
+        let a = g.try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch).unwrap();
+        let mask = a.slices[0].core_mask;
+        let spec = NodeSpec::summit();
+        for s in 0..2 {
+            let r = spec.cores_on_socket(s);
+            let on_socket = (r.clone())
+                .filter(|&c| mask & (1u64 << c) != 0)
+                .count();
+            assert_eq!(on_socket, 12, "12 cores per socket");
+            // The lowest cores of each socket (near PCIe) stay free.
+            assert_eq!(mask & (1u64 << r.start), 0);
+            // The highest core of each socket is taken.
+            assert_ne!(mask & (1u64 << (r.end - 1)), 0);
+        }
+    }
+
+    #[test]
+    fn lowest_bits_helpers() {
+        assert_eq!(lowest_bits_u64(0b1011, 2), Some(0b0011));
+        assert_eq!(lowest_bits_u64(0b1000, 2), None);
+        assert_eq!(lowest_bits_u8(0b110, 1), Some(0b010));
+    }
+
+    #[test]
+    fn visited_total_accumulates() {
+        let mut g = small(100);
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive).unwrap();
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive).unwrap();
+        assert_eq!(g.visited_total(), 200);
+        g.reset_visited();
+        assert_eq!(g.visited_total(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Job resource requests and placement affinities.
+
+/// How cores and GPUs of one node-slice of a job must be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Affinity {
+    /// Any free cores/GPUs on the node.
+    None,
+    /// Allocate a GPU and put the job's cores on that GPU's socket, lowest
+    /// core IDs first ("closest to the PCIe bus" for the analysis task,
+    /// cache-sharing for the simulation cores). Requires `gpus_per_node >= 1`.
+    PackNearGpu,
+    /// Cores only, packed onto as few sockets as possible (setup jobs).
+    PackCores,
+}
+
+/// A resource request: `nodes` node-slices, each with the same per-node
+/// core/GPU requirement. MuMMI's four job types map to:
+///
+/// | job                | nodes | cores | gpus | affinity      |
+/// |--------------------|-------|-------|------|---------------|
+/// | CG/AA simulation+analysis | 1 | 2    | 1    | `PackNearGpu` |
+/// | createsim / backmapping   | 1 | 24   | 0    | `PackCores`   |
+/// | continuum (GridSim2D)     | 150 | 24 | 0    | `PackCores`   |
+///
+/// Each simulation reserves the two cache-sharing cores next to its GPU;
+/// its analysis task rides SMT hardware threads on the same socket
+/// ("closest to the PCIe bus") without reserving whole cores — POWER9 is
+/// SMT4, and reserving full cores for analyses would strand GPUs on nodes
+/// that also host 24-core setup jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobShape {
+    /// Number of distinct nodes required.
+    pub nodes: u32,
+    /// Cores required on each node.
+    pub cores_per_node: u32,
+    /// GPUs required on each node.
+    pub gpus_per_node: u32,
+    /// Placement constraint within each node.
+    pub affinity: Affinity,
+}
+
+impl JobShape {
+    /// An unbundled simulation job: one GPU plus `cores` cores near it.
+    /// MuMMI uses 1 GPU + 2 simulation cores + 3 analysis cores = 5.
+    pub const fn sim(cores: u32) -> JobShape {
+        JobShape {
+            nodes: 1,
+            cores_per_node: cores,
+            gpus_per_node: 1,
+            affinity: Affinity::PackNearGpu,
+        }
+    }
+
+    /// The paper's standard simulation+analysis job: 1 GPU plus the two
+    /// cache-sharing simulation cores (analysis on SMT threads).
+    pub const fn sim_standard() -> JobShape {
+        JobShape::sim(2)
+    }
+
+    /// A bundled simulation job (the pre-MuMMI-2 approach): all GPUs of a
+    /// node plus their cores as a single job.
+    pub const fn sim_bundled(gpus: u32, cores_per_gpu: u32) -> JobShape {
+        JobShape {
+            nodes: 1,
+            cores_per_node: gpus * cores_per_gpu,
+            gpus_per_node: gpus,
+            affinity: Affinity::None,
+        }
+    }
+
+    /// A CPU-only setup job (createsim/backmapping): 24 cores on one node.
+    pub const fn setup() -> JobShape {
+        JobShape {
+            nodes: 1,
+            cores_per_node: 24,
+            gpus_per_node: 0,
+            affinity: Affinity::PackCores,
+        }
+    }
+
+    /// The continuum job: `nodes` nodes × 24 cores, no GPUs.
+    pub const fn continuum(nodes: u32) -> JobShape {
+        JobShape {
+            nodes,
+            cores_per_node: 24,
+            gpus_per_node: 0,
+            affinity: Affinity::PackCores,
+        }
+    }
+
+    /// Total cores across all node-slices.
+    pub const fn total_cores(&self) -> u64 {
+        self.nodes as u64 * self.cores_per_node as u64
+    }
+
+    /// Total GPUs across all node-slices.
+    pub const fn total_gpus(&self) -> u64 {
+        self.nodes as u64 * self.gpus_per_node as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_shapes() {
+        let sim = JobShape::sim_standard();
+        assert_eq!((sim.nodes, sim.cores_per_node, sim.gpus_per_node), (1, 2, 1));
+        assert_eq!(sim.affinity, Affinity::PackNearGpu);
+
+        let setup = JobShape::setup();
+        assert_eq!(setup.total_cores(), 24);
+        assert_eq!(setup.total_gpus(), 0);
+
+        let cont = JobShape::continuum(150);
+        assert_eq!(cont.total_cores(), 3600); // the paper's 3600 MPI ranks
+    }
+
+    #[test]
+    fn bundled_shape_consumes_whole_gpu_set() {
+        let b = JobShape::sim_bundled(6, 5);
+        assert_eq!(b.total_gpus(), 6);
+        assert_eq!(b.total_cores(), 30);
+    }
+}

@@ -1,0 +1,707 @@
+//! The scheduling engine: queue manager (Q) + resource matcher (R).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use resources::{Alloc, MatchPolicy, ResourceGraph};
+use simcore::{SimDuration, SimTime};
+
+use crate::job::{JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState};
+
+/// How Q and R communicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coupling {
+    /// Q and R share one service timeline and Q's inbox preempts R — the
+    /// Flux version used in the campaign, whose 4000-node signature is
+    /// chunky placement (Figure 6, right).
+    Synchronous,
+    /// Q and R run on independent timelines — the post-campaign fix.
+    Asynchronous,
+}
+
+/// Virtual service costs of the scheduling pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Costs {
+    /// Q-side cost of ingesting one submission (script write to GPFS, RPC,
+    /// validation).
+    pub submit: SimDuration,
+    /// R-side cost per node inspected during matching (graph traversal).
+    pub per_node_visit: SimDuration,
+    /// R-side fixed cost of dispatching a placed job to its node.
+    pub dispatch: SimDuration,
+}
+
+impl Costs {
+    /// Calibrated so a 1000-node allocation sustains ~100 placements/min
+    /// under the exhaustive policy (the paper's steady state) while a
+    /// 4000-node allocation cannot.
+    pub fn summit_campaign() -> Costs {
+        Costs {
+            submit: SimDuration::from_millis(250),
+            per_node_visit: SimDuration::from_micros(250),
+            dispatch: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Zero-cost scheduling (pure placement logic, used by unit tests).
+    pub fn free() -> Costs {
+        Costs {
+            submit: SimDuration::ZERO,
+            per_node_visit: SimDuration::ZERO,
+            dispatch: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Aggregate counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Total submissions accepted.
+    pub submitted: u64,
+    /// Jobs placed on resources.
+    pub placed: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that finished as failures.
+    pub failed: u64,
+    /// Jobs canceled before finishing.
+    pub canceled: u64,
+    /// Matcher invocations that found no placement.
+    pub match_misses: u64,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    alloc: Option<Alloc>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Ingest,
+    Match,
+}
+
+/// The single-user workload manager (see crate docs).
+#[derive(Debug)]
+pub struct SchedEngine {
+    graph: ResourceGraph,
+    policy: MatchPolicy,
+    coupling: Coupling,
+    costs: Costs,
+    next_id: u64,
+    jobs: HashMap<JobId, JobRecord>,
+    /// Submissions not yet ingested by Q: (submit time, id).
+    inbox: VecDeque<(SimTime, JobId)>,
+    /// Ingested jobs in FCFS order: (time the job entered the queue, id).
+    ready: VecDeque<(SimTime, JobId)>,
+    /// Scheduled resource releases: (finish time, id).
+    completions: BinaryHeap<Reverse<(SimTime, JobId)>>,
+    /// Q server availability (shared server under synchronous coupling).
+    q_free_at: SimTime,
+    /// R server availability (asynchronous coupling only).
+    r_free_at: SimTime,
+    /// FCFS head failed to match; wait for a release before retrying.
+    head_blocked: bool,
+    /// (running, pending) per class.
+    class_counts: HashMap<JobClass, (u64, u64)>,
+    stats: SchedStats,
+    /// Events produced outside `advance` (e.g. node failures), delivered
+    /// on the next poll.
+    pending_events: Vec<JobEvent>,
+}
+
+impl SchedEngine {
+    /// Creates an engine over `graph` with the given policies.
+    pub fn new(
+        graph: ResourceGraph,
+        policy: MatchPolicy,
+        coupling: Coupling,
+        costs: Costs,
+    ) -> SchedEngine {
+        SchedEngine {
+            graph,
+            policy,
+            coupling,
+            costs,
+            next_id: 0,
+            jobs: HashMap::new(),
+            inbox: VecDeque::new(),
+            ready: VecDeque::new(),
+            completions: BinaryHeap::new(),
+            q_free_at: SimTime::ZERO,
+            r_free_at: SimTime::ZERO,
+            head_blocked: false,
+            class_counts: HashMap::new(),
+            stats: SchedStats::default(),
+            pending_events: Vec::new(),
+        }
+    }
+
+    /// Simulates a compute-node failure at time `at`: the node is drained
+    /// (no new placements — Flux "has full support to detect node failures
+    /// and to drain the failed nodes") and every job holding resources on
+    /// it crashes, reported as a failed [`JobEvent::Finished`] on the next
+    /// poll so trackers can resubmit. Returns the crashed job ids.
+    pub fn fail_node(&mut self, node: resources::NodeId, at: SimTime) -> Vec<JobId> {
+        self.graph.drain(node);
+        let victims: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, rec)| {
+                rec.state == JobState::Running
+                    && rec
+                        .alloc
+                        .as_ref()
+                        .is_some_and(|a| a.slices.iter().any(|s| s.node == node))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &victims {
+            let rec = self.jobs.get_mut(&id).expect("victim exists");
+            if let Some(alloc) = rec.alloc.take() {
+                self.graph.release(&alloc);
+            }
+            rec.state = JobState::Failed;
+            let class = rec.spec.class;
+            self.counts_mut(class).0 -= 1;
+            self.stats.failed += 1;
+            self.pending_events.push(JobEvent::Finished {
+                id,
+                at,
+                success: false,
+            });
+        }
+        // Resources changed: the FCFS head may fit elsewhere now.
+        self.head_blocked = false;
+        victims
+    }
+
+    /// The resource graph (for occupancy sampling).
+    pub fn graph(&self) -> &ResourceGraph {
+        &self.graph
+    }
+
+    /// Mutable graph access (drain/undrain on node failure).
+    pub fn graph_mut(&mut self) -> &mut ResourceGraph {
+        &mut self.graph
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// (running, pending) for one job class.
+    pub fn class_counts(&self, class: JobClass) -> (u64, u64) {
+        self.class_counts.get(&class).copied().unwrap_or((0, 0))
+    }
+
+    /// (running, pending) over all classes.
+    pub fn totals(&self) -> (u64, u64) {
+        self.class_counts
+            .values()
+            .fold((0, 0), |(r, p), &(cr, cp)| (r + cr, p + cp))
+    }
+
+    /// Current state of a job.
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        self.jobs.get(&id).map(|j| j.state)
+    }
+
+    /// The class a job was submitted with.
+    pub fn class(&self, id: JobId) -> Option<JobClass> {
+        self.jobs.get(&id).map(|j| j.spec.class)
+    }
+
+    /// Submits a job at time `at`. The job enters Q's inbox and will be
+    /// ingested, queued, and matched by subsequent [`SchedEngine::advance`]
+    /// calls.
+    pub fn submit(&mut self, spec: JobSpec, at: SimTime) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let class = spec.class;
+        self.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Submitted,
+                alloc: None,
+            },
+        );
+        self.inbox.push_back((at, id));
+        self.counts_mut(class).1 += 1;
+        self.stats.submitted += 1;
+        id
+    }
+
+    /// Cancels a job; running jobs release their resources immediately.
+    /// Returns false if the job was already terminal or unknown.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let Some(rec) = self.jobs.get(&id) else {
+            return false;
+        };
+        match rec.state {
+            JobState::Submitted => {
+                self.inbox.retain(|&(_, j)| j != id);
+            }
+            JobState::Queued => {
+                if self.ready.front().map(|&(_, j)| j) == Some(id) {
+                    self.head_blocked = false;
+                }
+                self.ready.retain(|&(_, j)| j != id);
+            }
+            JobState::Running => {
+                let rec = self.jobs.get_mut(&id).expect("checked above");
+                if let Some(alloc) = rec.alloc.take() {
+                    self.graph.release(&alloc);
+                }
+                self.head_blocked = false;
+            }
+            _ => return false,
+        }
+        let rec = self.jobs.get_mut(&id).expect("checked above");
+        let was_running = rec.state == JobState::Running;
+        let class = rec.spec.class;
+        rec.state = JobState::Canceled;
+        let counts = self.counts_mut(class);
+        if was_running {
+            counts.0 -= 1;
+        } else {
+            counts.1 -= 1;
+        }
+        self.stats.canceled += 1;
+        true
+    }
+
+    /// Processes all scheduler work whose *start* time is before `now`,
+    /// interleaving Q/R service with resource releases in time order.
+    /// Returned events carry their own timestamps; an action started just
+    /// before `now` may finish (and be reported) slightly after it.
+    pub fn advance(&mut self, now: SimTime) -> Vec<JobEvent> {
+        let mut events = std::mem::take(&mut self.pending_events);
+        // Retry a blocked FCFS head once per poll: resources may have
+        // changed outside the engine's view (undrained nodes, etc.).
+        self.head_blocked = false;
+        loop {
+            let next_completion = self
+                .completions
+                .peek()
+                .map(|Reverse((t, _))| *t)
+                .filter(|&t| t <= now);
+            let next_service = self.next_service(now);
+            match (next_completion, next_service) {
+                (None, None) => break,
+                (Some(tc), Some((ts, _))) if tc <= ts => self.run_completion(&mut events),
+                (Some(_), None) => self.run_completion(&mut events),
+                (None, Some((ts, act))) | (Some(_), Some((ts, act))) => {
+                    self.run_service(ts, act, &mut events)
+                }
+            }
+        }
+        events
+    }
+
+    /// Determines the next Q/R action and its start time, if one can start
+    /// strictly before `now`.
+    fn next_service(&self, now: SimTime) -> Option<(SimTime, Action)> {
+        let ingest = self.inbox.front().map(|&(sub_t, _)| {
+            let server = self.q_free_at;
+            (server.max(sub_t), Action::Ingest)
+        });
+        let matcher = match (self.ready.front(), self.head_blocked) {
+            (Some(&(ready_at, _)), false) => {
+                let server = match self.coupling {
+                    Coupling::Synchronous => self.q_free_at,
+                    Coupling::Asynchronous => self.r_free_at,
+                };
+                // The matcher cannot start before the head job entered the
+                // queue (an idle server does not work in the past).
+                Some((server.max(ready_at), Action::Match))
+            }
+            _ => None,
+        };
+        let candidate = match (ingest, matcher) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            // Tie goes to ingestion: under synchronous coupling Q's inbox
+            // preempts R, which is the bottleneck the paper describes.
+            (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+        };
+        candidate.filter(|&(t, _)| t < now)
+    }
+
+    fn run_completion(&mut self, events: &mut Vec<JobEvent>) {
+        let Reverse((t, id)) = self.completions.pop().expect("peeked");
+        let rec = self.jobs.get_mut(&id).expect("scheduled job exists");
+        if rec.state != JobState::Running {
+            return; // canceled while running; resources already released
+        }
+        if let Some(alloc) = rec.alloc.take() {
+            self.graph.release(&alloc);
+        }
+        let success = rec.spec.outcome == JobOutcome::Success;
+        rec.state = if success {
+            JobState::Completed
+        } else {
+            JobState::Failed
+        };
+        let class = rec.spec.class;
+        self.counts_mut(class).0 -= 1;
+        if success {
+            self.stats.completed += 1;
+        } else {
+            self.stats.failed += 1;
+        }
+        // A release may unblock the FCFS head.
+        self.head_blocked = false;
+        events.push(JobEvent::Finished {
+            id,
+            at: t,
+            success,
+        });
+    }
+
+    fn run_service(&mut self, start: SimTime, action: Action, events: &mut Vec<JobEvent>) {
+        match action {
+            Action::Ingest => {
+                let (_, id) = self.inbox.pop_front().expect("ingest requires inbox");
+                let end = start + self.costs.submit;
+                self.q_free_at = end;
+                let rec = self.jobs.get_mut(&id).expect("submitted job exists");
+                rec.state = JobState::Queued;
+                self.ready.push_back((end, id));
+            }
+            Action::Match => {
+                let (_, id) = *self.ready.front().expect("match requires ready head");
+                let shape = self.jobs[&id].spec.shape;
+                let placed = self.graph.try_alloc(&shape, self.policy);
+                let visited = self.graph.visited_last();
+                let cost = self.costs.per_node_visit * visited
+                    + if placed.is_some() {
+                        self.costs.dispatch
+                    } else {
+                        SimDuration::ZERO
+                    };
+                let end = start + cost;
+                match self.coupling {
+                    Coupling::Synchronous => self.q_free_at = end,
+                    Coupling::Asynchronous => self.r_free_at = end,
+                }
+                match placed {
+                    Some(alloc) => {
+                        self.ready.pop_front();
+                        let rec = self.jobs.get_mut(&id).expect("queued job exists");
+                        rec.alloc = Some(alloc);
+                        rec.state = JobState::Running;
+                        let runtime = rec.spec.runtime;
+                        let class = rec.spec.class;
+                        let counts = self.counts_mut(class);
+                        counts.0 += 1;
+                        counts.1 -= 1;
+                        self.stats.placed += 1;
+                        self.completions.push(Reverse((end + runtime, id)));
+                        events.push(JobEvent::Placed { id, at: end });
+                    }
+                    None => {
+                        // Strict FCFS, no backfilling: the head blocks the
+                        // queue until resources are released.
+                        self.head_blocked = true;
+                        self.stats.match_misses += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn counts_mut(&mut self, class: JobClass) -> &mut (u64, u64) {
+        self.class_counts.entry(class).or_insert((0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resources::{JobShape, MachineSpec, NodeSpec};
+
+    fn engine(nodes: u32, policy: MatchPolicy, coupling: Coupling, costs: Costs) -> SchedEngine {
+        let graph = ResourceGraph::new(MachineSpec::custom("t", nodes, NodeSpec::summit()));
+        SchedEngine::new(graph, policy, coupling, costs)
+    }
+
+    fn sim_spec(runtime_s: u64) -> JobSpec {
+        JobSpec::new(
+            JobClass::CgSim,
+            JobShape::sim_standard(),
+            SimDuration::from_secs(runtime_s),
+        )
+    }
+
+    #[test]
+    fn submit_place_complete_lifecycle() {
+        let mut e = engine(2, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let id = e.submit(sim_spec(100), SimTime::ZERO);
+        assert_eq!(e.state(id), Some(JobState::Submitted));
+        let ev = e.advance(SimTime::from_micros(1));
+        assert!(matches!(ev[0], JobEvent::Placed { .. }));
+        assert_eq!(e.state(id), Some(JobState::Running));
+        assert_eq!(e.totals(), (1, 0));
+        let ev = e.advance(SimTime::from_secs(101));
+        assert!(matches!(ev[0], JobEvent::Finished { success: true, .. }));
+        assert_eq!(e.state(id), Some(JobState::Completed));
+        assert_eq!(e.totals(), (0, 0));
+        assert_eq!(e.graph().gpu_usage().0, 0);
+    }
+
+    #[test]
+    fn failed_jobs_report_failure() {
+        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let id = e.submit(sim_spec(10).failing(), SimTime::ZERO);
+        e.advance(SimTime::from_micros(1));
+        let ev = e.advance(SimTime::from_secs(11));
+        assert!(matches!(ev[0], JobEvent::Finished { success: false, .. }));
+        assert_eq!(e.state(id), Some(JobState::Failed));
+        assert_eq!(e.stats().failed, 1);
+    }
+
+    #[test]
+    fn fcfs_head_blocks_queue_until_release() {
+        // One node = 6 GPUs. Fill with 6 sims, then submit a 7th (blocks)
+        // and an 8th behind it. No backfilling: neither runs until a
+        // completion, then they run in order.
+        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut first6 = Vec::new();
+        for _ in 0..6 {
+            first6.push(e.submit(sim_spec(1000), SimTime::ZERO));
+        }
+        let j7 = e.submit(sim_spec(10), SimTime::ZERO);
+        let j8 = e.submit(sim_spec(10), SimTime::ZERO);
+        e.advance(SimTime::from_secs(1));
+        assert_eq!(e.totals(), (6, 2));
+        assert_eq!(e.state(j7), Some(JobState::Queued));
+        // Cancel one running job -> releases a GPU -> j7 places, j8 waits.
+        assert!(e.cancel(first6[0]));
+        e.advance(SimTime::from_secs(2));
+        assert_eq!(e.state(j7), Some(JobState::Running));
+        assert_eq!(e.state(j8), Some(JobState::Queued));
+        assert!(e.stats().match_misses >= 1);
+    }
+
+    #[test]
+    fn cancel_in_each_state() {
+        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let a = e.submit(sim_spec(100), SimTime::ZERO);
+        assert!(e.cancel(a)); // canceled while Submitted
+        assert_eq!(e.state(a), Some(JobState::Canceled));
+        assert!(!e.cancel(a)); // idempotent
+
+        let b = e.submit(sim_spec(100), SimTime::ZERO);
+        e.advance(SimTime::from_micros(1));
+        assert_eq!(e.state(b), Some(JobState::Running));
+        assert!(e.cancel(b));
+        assert_eq!(e.graph().gpu_usage().0, 0, "cancel releases resources");
+        assert_eq!(e.totals(), (0, 0));
+    }
+
+    #[test]
+    fn canceled_running_job_does_not_double_release() {
+        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let id = e.submit(sim_spec(5), SimTime::ZERO);
+        e.advance(SimTime::from_micros(1));
+        e.cancel(id);
+        // The stale completion event must be ignored.
+        let ev = e.advance(SimTime::from_secs(10));
+        assert!(ev.is_empty());
+        assert_eq!(e.stats().canceled, 1);
+        assert_eq!(e.stats().completed, 0);
+    }
+
+    #[test]
+    fn service_costs_delay_placement() {
+        let costs = Costs {
+            submit: SimDuration::from_secs(1),
+            per_node_visit: SimDuration::ZERO,
+            dispatch: SimDuration::ZERO,
+        };
+        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Synchronous, costs);
+        for _ in 0..5 {
+            e.submit(sim_spec(1000), SimTime::ZERO);
+        }
+        // After 3.5s of service, only 3 submissions are ingested; under
+        // synchronous coupling matching waits behind the inbox.
+        let ev = e.advance(SimTime::from_secs_f64(3.5));
+        let placed = ev
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Placed { .. }))
+            .count();
+        assert_eq!(placed, 0);
+        let (running, pending) = e.totals();
+        assert_eq!(running, 0);
+        assert_eq!(pending, 5);
+        // Once the inbox drains, matches proceed.
+        let ev = e.advance(SimTime::from_secs(10));
+        let placed = ev
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Placed { .. }))
+            .count();
+        assert_eq!(placed, 5);
+    }
+
+    #[test]
+    fn async_coupling_places_while_ingesting() {
+        let costs = Costs {
+            submit: SimDuration::from_secs(1),
+            per_node_visit: SimDuration::ZERO,
+            dispatch: SimDuration::from_millis(1),
+        };
+        let mut e = engine(2, MatchPolicy::FirstMatch, Coupling::Asynchronous, costs);
+        for _ in 0..5 {
+            e.submit(sim_spec(1000), SimTime::ZERO);
+        }
+        let ev = e.advance(SimTime::from_secs_f64(3.5));
+        let placed = ev
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Placed { .. }))
+            .count();
+        assert!(placed >= 2, "async R should place ingested jobs, got {placed}");
+    }
+
+    #[test]
+    fn exhaustive_policy_pays_full_graph_traversal() {
+        let costs = Costs {
+            submit: SimDuration::ZERO,
+            per_node_visit: SimDuration::from_millis(1),
+            dispatch: SimDuration::ZERO,
+        };
+        // 1000 nodes: each exhaustive match costs 1s.
+        let mut ex = engine(1000, MatchPolicy::LowIdExhaustive, Coupling::Asynchronous, costs);
+        let mut fm = engine(1000, MatchPolicy::FirstMatch, Coupling::Asynchronous, costs);
+        for e in [&mut ex, &mut fm] {
+            for _ in 0..10 {
+                e.submit(sim_spec(10_000), SimTime::ZERO);
+            }
+        }
+        let horizon = SimTime::from_secs(5);
+        let ex_placed = ex
+            .advance(horizon)
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Placed { .. }))
+            .count();
+        let fm_placed = fm
+            .advance(horizon)
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Placed { .. }))
+            .count();
+        assert!(ex_placed <= 5, "exhaustive is slow: {ex_placed}");
+        assert_eq!(fm_placed, 10, "first-match is fast");
+        assert!(fm.graph().visited_total() < ex.graph().visited_total() / 50);
+    }
+
+    #[test]
+    fn class_counts_track_mixed_workload() {
+        let mut e = engine(4, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        e.submit(sim_spec(100), SimTime::ZERO);
+        e.submit(
+            JobSpec::new(JobClass::CgSetup, JobShape::setup(), SimDuration::from_secs(50)),
+            SimTime::ZERO,
+        );
+        e.advance(SimTime::from_micros(1));
+        assert_eq!(e.class_counts(JobClass::CgSim), (1, 0));
+        assert_eq!(e.class_counts(JobClass::CgSetup), (1, 0));
+        assert_eq!(e.class_counts(JobClass::AaSim), (0, 0));
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        e.submit(sim_spec(100), SimTime::ZERO);
+        let ev1 = e.advance(SimTime::from_secs(1));
+        let ev2 = e.advance(SimTime::from_secs(1));
+        assert_eq!(ev1.len(), 1);
+        assert!(ev2.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use resources::{JobShape, MachineSpec, NodeSpec};
+
+    fn engine(nodes: u32) -> SchedEngine {
+        SchedEngine::new(
+            ResourceGraph::new(MachineSpec::custom("t", nodes, NodeSpec::summit())),
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        )
+    }
+
+    fn sim() -> JobSpec {
+        JobSpec::new(
+            JobClass::CgSim,
+            JobShape::sim_standard(),
+            SimDuration::from_hours(1),
+        )
+    }
+
+    #[test]
+    fn node_failure_crashes_resident_jobs_only() {
+        let mut e = engine(2);
+        let mut ids = Vec::new();
+        for _ in 0..12 {
+            ids.push(e.submit(sim(), SimTime::ZERO));
+        }
+        e.advance(SimTime::from_secs(1));
+        assert_eq!(e.graph().gpu_usage().0, 12);
+
+        let victims = e.fail_node(0, SimTime::from_secs(2));
+        assert_eq!(victims.len(), 6, "six sims lived on node 0");
+        assert_eq!(e.graph().gpu_usage().0, 6, "their GPUs were released");
+        // Failure events arrive on the next poll, exactly once.
+        let events = e.advance(SimTime::from_secs(3));
+        let failed = events
+            .iter()
+            .filter(|ev| matches!(ev, JobEvent::Finished { success: false, .. }))
+            .count();
+        assert_eq!(failed, 6);
+        assert!(e.advance(SimTime::from_secs(4)).is_empty());
+        // Survivors keep running.
+        let running = ids
+            .iter()
+            .filter(|&&id| e.state(id) == Some(JobState::Running))
+            .count();
+        assert_eq!(running, 6);
+        assert_eq!(e.stats().failed, 6);
+    }
+
+    #[test]
+    fn failed_node_takes_no_new_work_until_undrained() {
+        let mut e = engine(1);
+        let a = e.submit(sim(), SimTime::ZERO);
+        e.advance(SimTime::from_secs(1));
+        e.fail_node(0, SimTime::from_secs(2));
+        assert_eq!(e.state(a), Some(JobState::Failed));
+        let b = e.submit(sim(), SimTime::from_secs(3));
+        e.advance(SimTime::from_secs(4));
+        assert_eq!(e.state(b), Some(JobState::Queued), "drained node rejects work");
+        e.graph_mut().undrain(0);
+        e.advance(SimTime::from_secs(5));
+        assert_eq!(e.state(b), Some(JobState::Running));
+    }
+
+    #[test]
+    fn stale_completion_of_crashed_job_is_ignored() {
+        let mut e = engine(1);
+        e.submit(sim(), SimTime::ZERO);
+        e.advance(SimTime::from_secs(1));
+        e.fail_node(0, SimTime::from_secs(2));
+        e.advance(SimTime::from_secs(3));
+        // The original completion (at t=1h+) must not fire again.
+        let late = e.advance(SimTime::from_hours(2));
+        assert!(late.is_empty(), "unexpected events: {late:?}");
+        assert_eq!(e.stats().completed, 0);
+        assert_eq!(e.stats().failed, 1);
+    }
+}

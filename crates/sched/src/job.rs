@@ -1,0 +1,174 @@
+//! Job specifications, states, and lifecycle events.
+
+use resources::JobShape;
+use simcore::{SimDuration, SimTime};
+
+/// Unique job identifier, assigned at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// The workflow-level class of a job — MuMMI's four job types plus the
+/// continuum simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// The macro-scale GridSim2D job (multi-node, CPU only).
+    Continuum,
+    /// createsim: continuum patch → equilibrated CG system (CPU only).
+    CgSetup,
+    /// ddcMD CG simulation + online analysis (1 GPU).
+    CgSim,
+    /// backmapping: CG frame → AA system (CPU only).
+    AaSetup,
+    /// AMBER AA simulation + online analysis (1 GPU).
+    AaSim,
+    /// Anything else (the framework is generic).
+    Other,
+}
+
+impl JobClass {
+    /// Whether this class occupies GPUs.
+    pub fn uses_gpu(self) -> bool {
+        matches!(self, JobClass::CgSim | JobClass::AaSim)
+    }
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobClass::Continuum => "continuum",
+            JobClass::CgSetup => "cg-setup",
+            JobClass::CgSim => "cg-sim",
+            JobClass::AaSetup => "aa-setup",
+            JobClass::AaSim => "aa-sim",
+            JobClass::Other => "other",
+        }
+    }
+}
+
+/// How a job will end, decided by the (virtual) application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Runs for the full `runtime`, then completes successfully.
+    Success,
+    /// Runs for the full `runtime`, then is reported failed (the tracker
+    /// resubmits failed jobs).
+    Failure,
+}
+
+/// A job submission: what to run, what it needs, how long it will hold the
+/// resources in virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workflow class.
+    pub class: JobClass,
+    /// Resource request.
+    pub shape: JobShape,
+    /// Virtual wall time the job holds its allocation.
+    pub runtime: SimDuration,
+    /// Terminal outcome.
+    pub outcome: JobOutcome,
+}
+
+impl JobSpec {
+    /// A successful job of the given class/shape/runtime.
+    pub fn new(class: JobClass, shape: JobShape, runtime: SimDuration) -> JobSpec {
+        JobSpec {
+            class,
+            shape,
+            runtime,
+            outcome: JobOutcome::Success,
+        }
+    }
+
+    /// Marks the job as one that will fail after running.
+    pub fn failing(mut self) -> JobSpec {
+        self.outcome = JobOutcome::Failure;
+        self
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, not yet ingested by the queue manager.
+    Submitted,
+    /// In the FCFS queue, waiting for the matcher.
+    Queued,
+    /// Holding resources.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with failure.
+    Failed,
+    /// Canceled before completion.
+    Canceled,
+}
+
+impl JobState {
+    /// Whether the job still counts as "pending" for occupancy purposes.
+    pub fn is_pending(self) -> bool {
+        matches!(self, JobState::Submitted | JobState::Queued)
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Canceled
+        )
+    }
+}
+
+/// Lifecycle notifications returned by [`crate::SchedEngine::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// The matcher placed the job on resources at the given time.
+    Placed { id: JobId, at: SimTime },
+    /// The job released its resources.
+    Finished {
+        /// Which job.
+        id: JobId,
+        /// When it finished.
+        at: SimTime,
+        /// True for [`JobOutcome::Success`].
+        success: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_properties() {
+        assert!(JobClass::CgSim.uses_gpu());
+        assert!(JobClass::AaSim.uses_gpu());
+        assert!(!JobClass::CgSetup.uses_gpu());
+        assert_eq!(JobClass::Continuum.label(), "continuum");
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(JobState::Submitted.is_pending());
+        assert!(JobState::Queued.is_pending());
+        assert!(!JobState::Running.is_pending());
+        assert!(JobState::Completed.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn failing_builder() {
+        let spec = JobSpec::new(
+            JobClass::CgSim,
+            JobShape::sim_standard(),
+            SimDuration::from_hours(1),
+        )
+        .failing();
+        assert_eq!(spec.outcome, JobOutcome::Failure);
+    }
+}

@@ -1,0 +1,102 @@
+//! The Maestro-like launcher facade.
+//!
+//! "To achieve portability in job scheduling, the MuMMI workflow interfaces
+//! with Maestro, which provides a consistent API to schedule and monitor
+//! jobs. At the back-end, Maestro can interface with different job
+//! schedulers" (§4.3). The workflow manager programs against [`Launcher`];
+//! [`crate::SchedEngine`] implements it, and tests may substitute stubs.
+
+use simcore::SimTime;
+
+use crate::engine::SchedEngine;
+use crate::job::{JobClass, JobEvent, JobId, JobSpec, JobState};
+
+/// Scheduler-agnostic job submission and monitoring.
+pub trait Launcher {
+    /// Submits a job at time `at`; returns its id.
+    fn submit(&mut self, spec: JobSpec, at: SimTime) -> JobId;
+
+    /// Cancels a job; returns false for unknown/terminal jobs.
+    fn cancel(&mut self, id: JobId) -> bool;
+
+    /// Drives the backend to `now`, returning lifecycle events since the
+    /// previous poll.
+    fn poll(&mut self, now: SimTime) -> Vec<JobEvent>;
+
+    /// Current state of a job, if known.
+    fn state(&self, id: JobId) -> Option<JobState>;
+
+    /// (running, pending) counts for one job class.
+    fn class_counts(&self, class: JobClass) -> (u64, u64);
+
+    /// (used, total) GPUs of the resource set.
+    fn gpu_usage(&self) -> (u64, u64);
+
+    /// (used, total) CPU cores of the resource set.
+    fn cpu_usage(&self) -> (u64, u64);
+}
+
+impl Launcher for SchedEngine {
+    fn submit(&mut self, spec: JobSpec, at: SimTime) -> JobId {
+        SchedEngine::submit(self, spec, at)
+    }
+
+    fn cancel(&mut self, id: JobId) -> bool {
+        SchedEngine::cancel(self, id)
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<JobEvent> {
+        self.advance(now)
+    }
+
+    fn state(&self, id: JobId) -> Option<JobState> {
+        SchedEngine::state(self, id)
+    }
+
+    fn class_counts(&self, class: JobClass) -> (u64, u64) {
+        SchedEngine::class_counts(self, class)
+    }
+
+    fn gpu_usage(&self) -> (u64, u64) {
+        self.graph().gpu_usage()
+    }
+
+    fn cpu_usage(&self) -> (u64, u64) {
+        self.graph().cpu_usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Costs, Coupling};
+    use resources::{JobShape, MachineSpec, MatchPolicy, NodeSpec, ResourceGraph};
+    use simcore::SimDuration;
+
+    #[test]
+    fn engine_implements_launcher() {
+        let graph = ResourceGraph::new(MachineSpec::custom("t", 1, NodeSpec::summit()));
+        let mut launcher: Box<dyn Launcher> = Box::new(SchedEngine::new(
+            graph,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        ));
+        let id = launcher.submit(
+            JobSpec::new(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                SimDuration::from_secs(10),
+            ),
+            SimTime::ZERO,
+        );
+        let ev = launcher.poll(SimTime::from_secs(1));
+        assert!(matches!(ev[0], JobEvent::Placed { .. }));
+        assert_eq!(launcher.state(id), Some(JobState::Running));
+        assert_eq!(launcher.gpu_usage().0, 1);
+        assert_eq!(launcher.class_counts(JobClass::CgSim), (1, 0));
+        launcher.poll(SimTime::from_secs(20));
+        assert_eq!(launcher.state(id), Some(JobState::Completed));
+        assert_eq!(launcher.cpu_usage().0, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Submission throttling.
+//!
+//! "For most parts of this campaign, we specifically throttled the rate of
+//! submission to prevent overloading the job scheduler" (§5.2) — MuMMI
+//! configured ~100 jobs/min. [`Throttle`] hands out the earliest allowed
+//! submission times at a fixed rate.
+
+use simcore::{SimDuration, SimTime};
+
+/// A fixed-rate submission throttle.
+#[derive(Debug, Clone)]
+pub struct Throttle {
+    interval: SimDuration,
+    next_at: SimTime,
+}
+
+impl Throttle {
+    /// A throttle allowing `per_min` submissions per minute.
+    ///
+    /// # Panics
+    /// Panics when `per_min` is zero.
+    pub fn per_minute(per_min: u64) -> Throttle {
+        assert!(per_min > 0, "throttle rate must be positive");
+        Throttle {
+            interval: SimDuration::from_secs(60) / per_min,
+            next_at: SimTime::ZERO,
+        }
+    }
+
+    /// The configured inter-submission interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Reserves the next submission slot at or after `now`, returning the
+    /// time at which the submission may happen.
+    pub fn reserve(&mut self, now: SimTime) -> SimTime {
+        let at = self.next_at.max(now);
+        self.next_at = at + self.interval;
+        at
+    }
+
+    /// How many slots are available in `[now, now + window)` without
+    /// consuming them.
+    pub fn slots_within(&self, now: SimTime, window: SimDuration) -> u64 {
+        let start = self.next_at.max(now);
+        let end = now + window;
+        if start >= end {
+            return 0;
+        }
+        let span = end.since(start).as_micros();
+        span.div_ceil(self.interval.as_micros().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_enforced() {
+        let mut t = Throttle::per_minute(100);
+        let mut at = SimTime::ZERO;
+        let mut times = Vec::new();
+        for _ in 0..200 {
+            at = t.reserve(at);
+            times.push(at);
+        }
+        // 200 submissions at 100/min must span at least ~1.99 minutes.
+        let span = times.last().unwrap().since(times[0]);
+        assert!(span >= SimDuration::from_millis(119_400), "span {span}");
+        // Consecutive slots are exactly 600 ms apart when saturated.
+        assert_eq!(times[1].since(times[0]), SimDuration::from_millis(600));
+    }
+
+    #[test]
+    fn idle_throttle_does_not_accumulate_burst() {
+        let mut t = Throttle::per_minute(60);
+        // First reservation long after start: no banked credit.
+        let a = t.reserve(SimTime::from_micros(120_000_000));
+        let b = t.reserve(SimTime::from_micros(120_000_000));
+        assert_eq!(b.since(a), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn slots_within_counts_capacity() {
+        let t = Throttle::per_minute(60); // one per second
+        assert_eq!(t.slots_within(SimTime::ZERO, SimDuration::from_secs(10)), 10);
+        assert_eq!(t.slots_within(SimTime::ZERO, SimDuration::ZERO), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Throttle::per_minute(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Discrete-event simulation kernel and measurement utilities.
+//!
+//! The at-scale evaluation of the MuMMI paper (Table 1, Figures 3–8) was run on
+//! Summit. This crate provides the substrate that lets the same coordination
+//! logic run in *virtual time* on a laptop:
+//!
+//! - [`time`] — a microsecond-resolution virtual clock ([`SimTime`],
+//!   [`SimDuration`]) with total ordering and saturating arithmetic;
+//! - [`event`] — a deterministic event queue ([`EventQueue`]) with
+//!   FIFO tie-breaking for simultaneous events;
+//! - [`rng`] — reproducible named RNG streams ([`SeedStream`]) so every
+//!   stochastic component of a campaign is independently seeded;
+//! - [`stats`] — descriptive statistics and histograms used to emit the
+//!   figure series;
+//! - [`profile`] — the occupancy profiler and job-timeline recorder that
+//!   mirror MuMMI's 10-minute profiling events (Figures 5 and 6).
+
+pub mod event;
+pub mod profile;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use profile::{OccupancyProfiler, OccupancySample, Timeline, TimelinePoint};
+pub use rng::SeedStream;
+pub use stats::{Histogram, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,173 @@
+//! POSIX ustar header encoding and decoding.
+//!
+//! Only the subset needed for archive members (regular files, names up to
+//! 100 bytes) is implemented; that is what pytaridx produces, and it keeps
+//! the archives decodable by any standard `tar`.
+
+use crate::{Result, TarError};
+
+/// Tar block size in bytes; headers and data are padded to this.
+pub const BLOCK_SIZE: usize = 512;
+
+const NAME_LEN: usize = 100;
+const MAGIC: &[u8; 6] = b"ustar\0";
+
+/// A decoded member header: the fields taridx cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TarHeader {
+    /// Member name (the taridx key).
+    pub name: String,
+    /// Member payload size in bytes.
+    pub size: u64,
+    /// Modification time, seconds since the epoch.
+    pub mtime: u64,
+}
+
+impl TarHeader {
+    /// Encodes a ustar header block for a regular file.
+    pub fn encode(name: &str, size: u64, mtime: u64) -> Result<[u8; BLOCK_SIZE]> {
+        if name.len() > NAME_LEN {
+            return Err(TarError::KeyTooLong(name.to_string()));
+        }
+        let mut block = [0u8; BLOCK_SIZE];
+        block[..name.len()].copy_from_slice(name.as_bytes());
+        write_octal(&mut block[100..108], 0o644); // mode
+        write_octal(&mut block[108..116], 0); // uid
+        write_octal(&mut block[116..124], 0); // gid
+        write_octal12(&mut block[124..136], size);
+        write_octal12(&mut block[136..148], mtime);
+        block[156] = b'0'; // typeflag: regular file
+        block[257..263].copy_from_slice(MAGIC);
+        block[263..265].copy_from_slice(b"00"); // version
+        // uname/gname left empty; dev major/minor zeroed octal.
+        write_octal(&mut block[329..337], 0);
+        write_octal(&mut block[337..345], 0);
+        // Checksum: computed with the checksum field set to spaces.
+        block[148..156].fill(b' ');
+        let sum: u64 = block.iter().map(|&b| b as u64).sum();
+        let chk = format!("{sum:06o}\0 ");
+        block[148..156].copy_from_slice(chk.as_bytes());
+        Ok(block)
+    }
+
+    /// Decodes a header block. Returns `Ok(None)` for an all-zero block
+    /// (end-of-archive marker).
+    pub fn decode(block: &[u8; BLOCK_SIZE]) -> Result<Option<TarHeader>> {
+        if block.iter().all(|&b| b == 0) {
+            return Ok(None);
+        }
+        let stored = parse_octal(&block[148..156])
+            .ok_or_else(|| TarError::Corrupt("bad checksum field".into()))?;
+        let mut sum: u64 = block.iter().map(|&b| b as u64).sum();
+        // Recompute as if the checksum field were spaces.
+        for &b in &block[148..156] {
+            sum = sum - b as u64 + b' ' as u64;
+        }
+        if sum != stored {
+            return Err(TarError::Corrupt(format!(
+                "checksum mismatch: stored {stored}, computed {sum}"
+            )));
+        }
+        let name_end = block[..NAME_LEN]
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(NAME_LEN);
+        let name = std::str::from_utf8(&block[..name_end])
+            .map_err(|_| TarError::Corrupt("non-utf8 member name".into()))?
+            .to_string();
+        let size = parse_octal(&block[124..136])
+            .ok_or_else(|| TarError::Corrupt("bad size field".into()))?;
+        let mtime = parse_octal(&block[136..148]).unwrap_or(0);
+        Ok(Some(TarHeader { name, size, mtime }))
+    }
+
+    /// Number of 512-byte blocks occupied by a payload of `size` bytes.
+    pub fn data_blocks(size: u64) -> u64 {
+        size.div_ceil(BLOCK_SIZE as u64)
+    }
+}
+
+/// Writes `value` as a NUL-terminated octal field of width `buf.len()`.
+fn write_octal(buf: &mut [u8], value: u64) {
+    let s = format!("{:0width$o}\0", value, width = buf.len() - 1);
+    buf.copy_from_slice(&s.as_bytes()[..buf.len()]);
+}
+
+/// Writes `value` into a 12-byte octal field (size/mtime).
+fn write_octal12(buf: &mut [u8], value: u64) {
+    debug_assert_eq!(buf.len(), 12);
+    let s = format!("{value:011o}\0");
+    buf.copy_from_slice(s.as_bytes());
+}
+
+/// Parses an octal field, tolerating leading spaces and trailing NUL/space.
+fn parse_octal(field: &[u8]) -> Option<u64> {
+    let trimmed: Vec<u8> = field
+        .iter()
+        .copied()
+        .skip_while(|&b| b == b' ')
+        .take_while(|&b| b.is_ascii_digit())
+        .collect();
+    if trimmed.is_empty() {
+        return Some(0);
+    }
+    let s = std::str::from_utf8(&trimmed).ok()?;
+    u64::from_str_radix(s, 8).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_header() {
+        let block = TarHeader::encode("patches/p-000042.npz", 70_000, 12345).unwrap();
+        let h = TarHeader::decode(&block).unwrap().unwrap();
+        assert_eq!(h.name, "patches/p-000042.npz");
+        assert_eq!(h.size, 70_000);
+        assert_eq!(h.mtime, 12345);
+    }
+
+    #[test]
+    fn zero_block_is_end_marker() {
+        let block = [0u8; BLOCK_SIZE];
+        assert_eq!(TarHeader::decode(&block).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_checksum_is_detected() {
+        let mut block = TarHeader::encode("k", 10, 0).unwrap();
+        block[0] ^= 0xff;
+        assert!(matches!(
+            TarHeader::decode(&block),
+            Err(TarError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn long_keys_are_rejected() {
+        let long = "x".repeat(101);
+        assert!(matches!(
+            TarHeader::encode(&long, 0, 0),
+            Err(TarError::KeyTooLong(_))
+        ));
+        // Exactly 100 bytes is fine.
+        let exact = "y".repeat(100);
+        let block = TarHeader::encode(&exact, 0, 0).unwrap();
+        assert_eq!(TarHeader::decode(&block).unwrap().unwrap().name, exact);
+    }
+
+    #[test]
+    fn data_blocks_rounds_up() {
+        assert_eq!(TarHeader::data_blocks(0), 0);
+        assert_eq!(TarHeader::data_blocks(1), 1);
+        assert_eq!(TarHeader::data_blocks(512), 1);
+        assert_eq!(TarHeader::data_blocks(513), 2);
+    }
+
+    #[test]
+    fn header_magic_is_ustar() {
+        let block = TarHeader::encode("k", 1, 0).unwrap();
+        assert_eq!(&block[257..263], b"ustar\0");
+    }
+}

@@ -1,0 +1,204 @@
+//! The sidecar index: key → (offset, size) with last-write-wins semantics.
+//!
+//! The on-disk format is a plain text file, one record per line:
+//!
+//! ```text
+//! <data_offset>\t<size>\t<key>\n
+//! ```
+//!
+//! Records are appended in archive order; when a key appears more than once
+//! (a re-insert after a failed write) the **last** record wins, matching the
+//! paper: "in the event of a failure during a write, the same key gets
+//! reinserted and is taken to be the correct value". Deleting a key only
+//! touches the index — the tar data is immutable.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Location of one member's payload inside the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Byte offset of the payload (not the header) in the tar file.
+    pub offset: u64,
+    /// Payload size in bytes.
+    pub size: u64,
+}
+
+/// In-memory index with ordered insert history.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    map: HashMap<String, IndexEntry>,
+    /// Append history in archive order (including superseded records), kept
+    /// so the sidecar file can be rewritten faithfully.
+    history: Vec<(String, IndexEntry)>,
+}
+
+impl Index {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a new member; a repeated key supersedes the previous entry.
+    pub fn insert(&mut self, key: &str, entry: IndexEntry) {
+        self.history.push((key.to_string(), entry));
+        self.map.insert(key.to_string(), entry);
+    }
+
+    /// Looks up the live entry for `key`.
+    pub fn get(&self, key: &str) -> Option<IndexEntry> {
+        self.map.get(key).copied()
+    }
+
+    /// Removes `key` from the live view (the tar data remains).
+    pub fn remove(&mut self, key: &str) -> Option<IndexEntry> {
+        self.map.remove(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when there are no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is live.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Iterates live keys in arbitrary order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(|s| s.as_str())
+    }
+
+    /// Total records ever appended (including superseded ones).
+    pub fn appended(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Serializes the live view to the sidecar file at `path`, atomically
+    /// (write to `<path>.tmp`, then rename) to guard against a crash
+    /// mid-flush leaving a truncated index.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("idx.tmp");
+        {
+            let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
+            // Persist full history so recovery semantics (last wins) survive
+            // a save/load cycle even for superseded keys later re-removed.
+            for (key, e) in &self.history {
+                if self.map.get(key) == Some(e) {
+                    writeln!(f, "{}\t{}\t{}", e.offset, e.size, key)?;
+                }
+            }
+            f.flush()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads an index from the sidecar file at `path`.
+    pub fn load(path: &Path) -> io::Result<Index> {
+        let f = BufReader::new(fs::File::open(path)?);
+        let mut idx = Index::new();
+        for (lineno, line) in f.lines().enumerate() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let parse = |s: Option<&str>| -> io::Result<u64> {
+                s.and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad index record at line {}", lineno + 1),
+                    )
+                })
+            };
+            let offset = parse(parts.next())?;
+            let size = parse(parts.next())?;
+            let key = parts.next().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("missing key at line {}", lineno + 1),
+                )
+            })?;
+            idx.insert(key, IndexEntry { offset, size });
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("taridx-index-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = Index::new();
+        idx.insert("a", IndexEntry { offset: 512, size: 10 });
+        assert!(idx.contains("a"));
+        assert_eq!(idx.get("a").unwrap().size, 10);
+        assert!(idx.remove("a").is_some());
+        assert!(!idx.contains("a"));
+        assert!(idx.remove("a").is_none());
+    }
+
+    #[test]
+    fn reinsert_last_wins() {
+        let mut idx = Index::new();
+        idx.insert("k", IndexEntry { offset: 512, size: 5 });
+        idx.insert("k", IndexEntry { offset: 2048, size: 7 });
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get("k").unwrap().offset, 2048);
+        assert_eq!(idx.appended(), 2);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut idx = Index::new();
+        idx.insert("alpha", IndexEntry { offset: 512, size: 100 });
+        idx.insert("beta/with/slashes", IndexEntry { offset: 1536, size: 200 });
+        idx.insert("alpha", IndexEntry { offset: 4096, size: 50 });
+        let p = tmpfile("roundtrip.idx");
+        idx.save(&p).unwrap();
+        let loaded = Index::load(&p).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get("alpha").unwrap().offset, 4096);
+        assert_eq!(loaded.get("beta/with/slashes").unwrap().size, 200);
+        fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn removed_keys_stay_removed_after_save() {
+        let mut idx = Index::new();
+        idx.insert("gone", IndexEntry { offset: 512, size: 1 });
+        idx.insert("kept", IndexEntry { offset: 1024, size: 2 });
+        idx.remove("gone");
+        let p = tmpfile("removed.idx");
+        idx.save(&p).unwrap();
+        let loaded = Index::load(&p).unwrap();
+        assert!(!loaded.contains("gone"));
+        assert!(loaded.contains("kept"));
+        fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let p = tmpfile("garbage.idx");
+        fs::write(&p, "not-a-number\tnope\tkey\n").unwrap();
+        assert!(Index::load(&p).is_err());
+        fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,82 @@
+//! Indexed tar archives — the `pytaridx` stand-in.
+//!
+//! Large MuMMI campaigns create over a billion files; "one of the simplest
+//! ways of reducing the inode count is to collect files into archives"
+//! (§4.2). This crate reimplements the paper's `pytaridx` design in Rust:
+//!
+//! - archives are **standard POSIX ustar tar files**, portable and readable
+//!   with the commonly available decoder (`tar -tf` works);
+//! - writes are **append-only**, which "prevents data corruption due to
+//!   hardware/software failures";
+//! - a **sidecar index** (`<archive>.idx`) provides random access to any
+//!   member without scanning the archive;
+//! - re-inserting a key appends a new member and the index takes the latest
+//!   copy as the correct value — the paper's crash-recovery semantics;
+//! - a lost or stale index can be **rebuilt by scanning** the tar headers
+//!   ([`IndexedTar::recover_index`]).
+//!
+//! ```
+//! use taridx::IndexedTar;
+//! let dir = std::env::temp_dir().join(format!("taridx-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("frames.tar");
+//!
+//! let mut tar = IndexedTar::create(&path).unwrap();
+//! tar.append("frame-0001", b"rdf data").unwrap();
+//! tar.flush().unwrap();
+//! assert_eq!(tar.read("frame-0001").unwrap(), b"rdf data");
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+mod archive;
+mod header;
+mod index;
+
+pub use archive::IndexedTar;
+pub use header::{TarHeader, BLOCK_SIZE};
+pub use index::{Index, IndexEntry};
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by archive operations.
+#[derive(Debug)]
+pub enum TarError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The requested key is not present in the index.
+    KeyNotFound(String),
+    /// A key longer than tar's 100-byte name field (we do not use prefixes).
+    KeyTooLong(String),
+    /// The archive bytes do not parse as a ustar stream.
+    Corrupt(String),
+}
+
+impl fmt::Display for TarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TarError::Io(e) => write!(f, "i/o error: {e}"),
+            TarError::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            TarError::KeyTooLong(k) => write!(f, "key exceeds 100 bytes: {k}"),
+            TarError::Corrupt(m) => write!(f, "corrupt archive: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TarError {
+    fn from(e: io::Error) -> Self {
+        TarError::Io(e)
+    }
+}
+
+/// Convenience alias for archive results.
+pub type Result<T> = std::result::Result<T, TarError>;

@@ -1,0 +1,64 @@
+//! The "Next Leap" (§6): a persistent workflow hopping across clusters.
+//!
+//! One scientific campaign consumes whatever allocations become available
+//! — different sizes, different machines (Summit's 6-GPU nodes, Lassen's
+//! 4-GPU nodes) — and its state flows across every hop through the
+//! checkpoint mechanism. Node failures are injected along the way; the
+//! workflow drains the failed nodes and resubmits the crashed jobs.
+//!
+//! Run with: `cargo run --release --example persistent_workflow`
+
+use mummi::campaign::{AllocationOffer, CampaignConfig, PersistentCampaign};
+use mummi::resources::MatchPolicy;
+use mummi::sched::Coupling;
+
+fn main() {
+    let cfg = CampaignConfig {
+        policy: MatchPolicy::FirstMatch,
+        coupling: Coupling::Asynchronous,
+        node_failures_per_day: 3.0,
+        ..CampaignConfig::default()
+    };
+    let mut workflow = PersistentCampaign::new(cfg);
+
+    // The offer stream: whatever the centers make available.
+    let offers = [AllocationOffer::summit(100, 6),
+        AllocationOffer::lassen(150, 12),
+        AllocationOffer::summit(500, 12),
+        AllocationOffer::lassen(64, 6),
+        AllocationOffer::summit(1000, 24)];
+
+    println!("hop  cluster  nodes  hours  placed  crashed  meanGPU%  load");
+    for (i, offer) in offers.iter().enumerate() {
+        let r = workflow.consume(offer);
+        println!(
+            "{:>3}  {:<7}  {:>5}  {:>5}  {:>6}  {:>7}  {:>7.1}  {}",
+            i + 1,
+            offer.cluster,
+            offer.nodes,
+            offer.hours,
+            r.placed,
+            r.jobs_crashed,
+            r.gpu_mean_occupancy,
+            r.load_time
+                .map(|t| format!("{:.2} h", t.as_hours_f64()))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+
+    println!("\nper-cluster accounting:");
+    for u in workflow.usage() {
+        println!(
+            "  {:<7} {} allocations, {} node hours",
+            u.cluster, u.allocations, u.node_hours
+        );
+    }
+    println!("total: {} node hours", workflow.total_node_hours());
+
+    let total_cg: f64 = workflow.campaign().cg_lengths().iter().sum();
+    println!(
+        "one campaign, {} CG simulations, {:.1} µs of trajectory — accumulated across clusters",
+        workflow.campaign().cg_lengths().len(),
+        total_cg
+    );
+}

@@ -1,0 +1,50 @@
+//! The Summit campaign in virtual time: restartable runs at varying scale.
+//!
+//! Reproduces the paper's §5 operations story on a laptop: a campaign that
+//! seamlessly scales allocations up and down, restarts from checkpoints,
+//! loads the machine in under an hour when warm, and reports the headline
+//! occupancy numbers.
+//!
+//! Run with: `cargo run --release --example summit_campaign`
+
+use mummi::campaign::{Campaign, CampaignConfig};
+
+fn main() {
+    let mut campaign = Campaign::new(CampaignConfig::default());
+
+    // Scale up, down, and back up — "restoring from a 500 node job to
+    // start a 1000 node one or vice versa".
+    let schedule = [(100u32, 6u64), (500, 12), (1000, 24), (500, 12), (1000, 24)];
+    println!("run  nodes  hours  placed  meanGPU%  load-time");
+    for (i, &(nodes, hours)) in schedule.iter().enumerate() {
+        let r = campaign.execute_run(nodes, hours);
+        println!(
+            "{:>3}  {:>5}  {:>5}  {:>6}  {:>7.1}  {}",
+            i + 1,
+            nodes,
+            hours,
+            r.placed,
+            r.gpu_mean_occupancy,
+            r.load_time
+                .map(|t| format!("{:.2} h", t.as_hours_f64()))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+
+    let p = campaign.profiler();
+    let (mean, median) = p.gpu_mean_median();
+    println!("\ncampaign GPU occupancy: mean {mean:.1}%, median {median:.1}%");
+    println!(
+        "profile events with >=98% GPU occupancy: {:.1}% (paper: >83%)",
+        p.fraction_gpu_at_least(98.0) * 100.0
+    );
+    let (snaps, patches, frames) = campaign.data_counts();
+    println!("data produced: {snaps} snapshots, {patches} patches, {frames} frame candidates");
+    println!(
+        "simulations spawned: {} CG, {} AA",
+        campaign.cg_lengths().len(),
+        campaign.aa_lengths().len()
+    );
+    let total_nodeh: u64 = campaign.reports().iter().map(|r| r.node_hours).sum();
+    println!("node hours: {total_nodeh}");
+}

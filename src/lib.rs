@@ -1,0 +1,47 @@
+//! # mummi-rs
+//!
+//! A Rust reproduction of *"Generalizable Coordination of Large Multiscale
+//! Workflows: Challenges and Learnings at Scale"* (Bhatia et al., SC '21) —
+//! the generalized, three-scale MuMMI framework, together with every
+//! substrate it runs on.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`mod@core`] | the workflow manager and coordination APIs |
+//! | [`campaign`] | Summit-scale campaign simulator (Table 1, Figs 3–6, 8) |
+//! | [`sched`] | Flux-like workload manager (Q/R coupling, FCFS, policies) |
+//! | [`resources`] | Summit/Lassen machine topology and resource graph |
+//! | [`dynim`] | dynamic-importance sampling (FPS + binned samplers) |
+//! | [`ml`] | dense NN + PCA encoders |
+//! | [`datastore`] | abstract data interfaces (file / taridx / redis) |
+//! | [`taridx`] | indexed tar archives |
+//! | [`kvstore`] | sharded in-memory KV store |
+//! | [`continuum`] | DDFT macro model (GridSim2D stand-in) |
+//! | [`cg`] | Martini-like CG MD engine + analysis (ddcMD stand-in) |
+//! | [`aa`] | all-atom MD surrogate + secondary structure (AMBER stand-in) |
+//! | [`mapping`] | createsim and backmapping converters |
+//! | [`simcore`] | discrete-event kernel, RNG streams, statistics |
+//!
+//! Start with the `quickstart` example, then `three_scale_minicampaign`
+//! for the full coupled loop at laptop scale.
+
+pub use aa;
+pub use campaign;
+pub use cg;
+pub use continuum;
+pub use datastore;
+pub use dynim;
+pub use kvstore;
+pub use mapping;
+pub use ml;
+pub use resources;
+pub use sched;
+pub use simcore;
+pub use taridx;
+
+/// The coordination layer (re-export of the `mummi-core` crate).
+pub mod core {
+    pub use mummi_core::*;
+}
