@@ -85,7 +85,12 @@ pub fn assign_ss(backbone: &[[f64; 3]]) -> Vec<SsClass> {
         return out;
     }
     for i in 1..n - 2 {
-        let d = dihedral(backbone[i - 1], backbone[i], backbone[i + 1], backbone[i + 2]);
+        let d = dihedral(
+            backbone[i - 1],
+            backbone[i],
+            backbone[i + 1],
+            backbone[i + 2],
+        );
         out[i] = classify(d);
     }
     out

@@ -12,7 +12,17 @@ fn point9(i: u64) -> HdPoint {
     let y = (i as f64 * 0.569840) % 1.0;
     HdPoint::new(
         format!("p{i}"),
-        vec![x, y, (x * 7.3) % 1.0, (y * 3.1) % 1.0, x * y, x - y, x + y, x, y],
+        vec![
+            x,
+            y,
+            (x * 7.3) % 1.0,
+            (y * 3.1) % 1.0,
+            x * y,
+            x - y,
+            x + y,
+            x,
+            y,
+        ],
     )
 }
 
@@ -56,8 +66,7 @@ fn bench_samplers(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("fps_select10", n), &n, |b, &n| {
             b.iter_batched(
                 || {
-                    let mut s =
-                        FarthestPointSampler::new(FpsConfig { cap: 0 }, KdTreeNn::new());
+                    let mut s = FarthestPointSampler::new(FpsConfig { cap: 0 }, KdTreeNn::new());
                     for i in 0..n {
                         s.add(point9(i));
                     }
@@ -90,7 +99,7 @@ fn bench_samplers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

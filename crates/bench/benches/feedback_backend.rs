@@ -86,7 +86,7 @@ fn bench_backends(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -12,19 +12,15 @@ fn bench_match_policies(c: &mut Criterion) {
             ("low_id_exhaustive", MatchPolicy::LowIdExhaustive),
             ("first_match", MatchPolicy::FirstMatch),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, nodes),
-                &nodes,
-                |b, &nodes| {
-                    let mut graph = ResourceGraph::new(MachineSpec::summit_allocation(nodes));
-                    b.iter(|| {
-                        let alloc = graph
-                            .try_alloc(&JobShape::sim_standard(), policy)
-                            .expect("fits");
-                        graph.release(&alloc);
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, nodes), &nodes, |b, &nodes| {
+                let mut graph = ResourceGraph::new(MachineSpec::summit_allocation(nodes));
+                b.iter(|| {
+                    let alloc = graph
+                        .try_alloc(&JobShape::sim_standard(), policy)
+                        .expect("fits");
+                    graph.release(&alloc);
+                })
+            });
         }
     }
     // Matching into a nearly-full graph (the late-load regime).
@@ -44,7 +40,7 @@ fn bench_match_policies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -44,7 +44,8 @@ fn bench_taridx(c: &mut Criterion) {
         let path = dir.join("recover.tar");
         let mut tar = IndexedTar::create(&path).expect("create");
         for i in 0..500 {
-            tar.append(&format!("m{i}"), &member[..1024]).expect("append");
+            tar.append(&format!("m{i}"), &member[..1024])
+                .expect("append");
         }
         b.iter(|| {
             tar.recover_index().expect("recover");
@@ -56,7 +57,7 @@ fn bench_taridx(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -37,7 +37,8 @@ fn main() {
     let mut fs = FsStore::open(&dir).expect("open fs store");
     for i in 0..n_frames {
         let f = frame(i);
-        fs.write(mummi_core::ns::RDF_NEW, &f.id, &f.encode()).expect("write");
+        fs.write(mummi_core::ns::RDF_NEW, &f.id, &f.encode())
+            .expect("write");
     }
     let mut fb = CgToContinuumFeedback::new(4);
     let t0 = std::time::Instant::now();
@@ -54,7 +55,8 @@ fn main() {
     let mut kv = KvDataStore::over_with_latency(cluster, LatencyModel::SUMMIT_IB);
     for i in 0..n_frames {
         let f = frame(i);
-        kv.write(mummi_core::ns::RDF_NEW, &f.id, &f.encode()).expect("write");
+        kv.write(mummi_core::ns::RDF_NEW, &f.id, &f.encode())
+            .expect("write");
     }
     kv.client().reset_virtual();
     let mut fb = CgToContinuumFeedback::new(4);
@@ -66,8 +68,14 @@ fn main() {
 
     println!("backend     measured     +modeled access     total");
     println!("filesystem  {fs_measured:>8.3} s   {fs_modeled:>13.3} s   {fs_total:>8.3} s");
-    println!("redis       {kv_measured:>8.3} s   {:>13.3} s   {kv_total:>8.3} s", kv_total - kv_measured);
-    println!("\nspeedup: {:.1}×   (paper: more than 12× faster feedback)", fs_total / kv_total);
+    println!(
+        "redis       {kv_measured:>8.3} s   {:>13.3} s   {kv_total:>8.3} s",
+        kv_total - kv_measured
+    );
+    println!(
+        "\nspeedup: {:.1}×   (paper: more than 12× faster feedback)",
+        fs_total / kv_total
+    );
     println!(
         "per-iteration cost: filesystem {:.1} min vs redis {:.2} min (target: <10 min per iteration)",
         fs_total / 60.0,

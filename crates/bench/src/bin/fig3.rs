@@ -25,7 +25,10 @@ fn main() {
     let mut h_cg = Histogram::new(0.0, 5.000001, 25);
     h_cg.add_all(&cg);
     print_histogram(
-        &format!("Figure 3 (left): CG simulation lengths (µs), total = {}", cg.len()),
+        &format!(
+            "Figure 3 (left): CG simulation lengths (µs), total = {}",
+            cg.len()
+        ),
         "length_us",
         &h_cg,
     );
@@ -33,15 +36,24 @@ fn main() {
     let mut h_aa = Histogram::new(0.0, 70.0, 28);
     h_aa.add_all(&aa);
     print_histogram(
-        &format!("Figure 3 (right): AA simulation lengths (ns), total = {}", aa.len()),
+        &format!(
+            "Figure 3 (right): AA simulation lengths (ns), total = {}",
+            aa.len()
+        ),
         "length_ns",
         &h_aa,
     );
 
     let cg_total_us: f64 = cg.iter().sum();
     let aa_total_ns: f64 = aa.iter().sum();
-    println!("accumulated CG trajectory: {:.2} µs  (paper: 96.67 ms across 34,523 sims)", cg_total_us);
-    println!("accumulated AA trajectory: {:.2} ns  (paper: 326 µs across 9,632 sims)", aa_total_ns);
+    println!(
+        "accumulated CG trajectory: {:.2} µs  (paper: 96.67 ms across 34,523 sims)",
+        cg_total_us
+    );
+    println!(
+        "accumulated AA trajectory: {:.2} ns  (paper: 326 µs across 9,632 sims)",
+        aa_total_ns
+    );
     let at_cap = cg.iter().filter(|&&l| l >= 5.0 - 1e-9).count();
     println!(
         "CG sims that reached the 5 µs cap: {} of {} — the spike at the right edge",

@@ -39,7 +39,9 @@ fn main() {
         "Figure 4 (middle, spread): CG performance min/max per size bin",
         "particles",
         "us_per_day_min_max",
-        &cg.iter().flat_map(|r| [(r.0, r.2), (r.0, r.3)]).collect::<Vec<_>>(),
+        &cg.iter()
+            .flat_map(|r| [(r.0, r.2), (r.0, r.3)])
+            .collect::<Vec<_>>(),
     );
     let rates: Vec<f64> = c.cg_samples().iter().map(|s| s.1).collect();
     let s = Summary::of(&rates);
@@ -70,7 +72,11 @@ fn binned_stats(samples: &[(f64, f64)], bins: usize) -> Vec<(f64, f64, f64, f64)
         return Vec::new();
     }
     let lo = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
-    let hi = samples.iter().map(|s| s.0).fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+    let hi = samples
+        .iter()
+        .map(|s| s.0)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 1e-9;
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); bins];
     for &(size, rate) in samples {
         let b = (((size - lo) / (hi - lo)) * bins as f64) as usize;

@@ -40,7 +40,16 @@ fn main() {
     let frac98 = p.fraction_gpu_at_least(98.0);
     let (gpu_mean, gpu_median) = p.gpu_mean_median();
     let (cpu_mean, cpu_median) = p.cpu_mean_median();
-    println!("GPU occupancy >= 98% for {:.1}% of profile events (paper: >83%)", frac98 * 100.0);
-    println!("GPU mean {:.2}% median {:.2}%   (paper: 93.73% / 99.93%)", gpu_mean, gpu_median);
-    println!("CPU mean {:.2}% median {:.2}%   (paper: 54.12% / 50.48%)", cpu_mean, cpu_median);
+    println!(
+        "GPU occupancy >= 98% for {:.1}% of profile events (paper: >83%)",
+        frac98 * 100.0
+    );
+    println!(
+        "GPU mean {:.2}% median {:.2}%   (paper: 93.73% / 99.93%)",
+        gpu_mean, gpu_median
+    );
+    println!(
+        "CPU mean {:.2}% median {:.2}%   (paper: 54.12% / 50.48%)",
+        cpu_mean, cpu_median
+    );
 }

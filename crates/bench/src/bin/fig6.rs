@@ -36,8 +36,16 @@ fn main() {
     let r1000 = c.execute_run(1000, 24);
     let r4000 = c.execute_run(4000, 16);
 
-    print_timeline("Figure 6 (left): 1000 nodes", &r1000.cg_timeline, &r1000.aa_timeline);
-    print_timeline("Figure 6 (right): 4000 nodes", &r4000.cg_timeline, &r4000.aa_timeline);
+    print_timeline(
+        "Figure 6 (left): 1000 nodes",
+        &r1000.cg_timeline,
+        &r1000.aa_timeline,
+    );
+    print_timeline(
+        "Figure 6 (right): 4000 nodes",
+        &r4000.cg_timeline,
+        &r4000.aa_timeline,
+    );
 
     println!(
         "1000-node load time: {}   (paper: ~1 hour)",

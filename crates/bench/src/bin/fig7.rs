@@ -18,7 +18,9 @@ use mummi_bench::print_series;
 const VALUE_BYTES: usize = 17 * 1024;
 
 fn main() {
-    let sizes = [5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000];
+    let sizes = [
+        5_000u64, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000,
+    ];
     let mut keys_rows = Vec::new();
     let mut values_rows = Vec::new();
     let mut delete_rows = Vec::new();
@@ -71,13 +73,37 @@ fn main() {
         del_tput.push(n as f64 / t_delete);
     }
 
-    print_series("Figure 7: retrieve keys", "cg_frames", "seconds", &keys_rows);
-    print_series("Figure 7: retrieve values", "cg_frames", "seconds", &values_rows);
-    print_series("Figure 7: delete (key, value) pairs", "cg_frames", "seconds", &delete_rows);
+    print_series(
+        "Figure 7: retrieve keys",
+        "cg_frames",
+        "seconds",
+        &keys_rows,
+    );
+    print_series(
+        "Figure 7: retrieve values",
+        "cg_frames",
+        "seconds",
+        &values_rows,
+    );
+    print_series(
+        "Figure 7: delete (key, value) pairs",
+        "cg_frames",
+        "seconds",
+        &delete_rows,
+    );
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("mean throughput:");
-    println!("  key scans : {:>8.0} keys/s   (paper: ~10,000/s)", mean(&key_tput));
-    println!("  value gets: {:>8.0} reads/s  (paper: ~2,000/s)", mean(&val_tput));
-    println!("  deletions : {:>8.0} dels/s   (paper: ~10,000/s)", mean(&del_tput));
+    println!(
+        "  key scans : {:>8.0} keys/s   (paper: ~10,000/s)",
+        mean(&key_tput)
+    );
+    println!(
+        "  value gets: {:>8.0} reads/s  (paper: ~2,000/s)",
+        mean(&val_tput)
+    );
+    println!(
+        "  deletions : {:>8.0} dels/s   (paper: ~10,000/s)",
+        mean(&del_tput)
+    );
 }

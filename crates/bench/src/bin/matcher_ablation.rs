@@ -94,8 +94,7 @@ fn main() {
     );
 
     let visit_speedup = old.visited as f64 / new.visited.max(1) as f64;
-    let time_speedup =
-        old.virtual_time.as_secs_f64() / new.virtual_time.as_secs_f64().max(1e-9);
+    let time_speedup = old.virtual_time.as_secs_f64() / new.virtual_time.as_secs_f64().max(1e-9);
     // Matcher-only service time: visited nodes × per-node traversal cost.
     let per_node = 250e-6;
     println!(

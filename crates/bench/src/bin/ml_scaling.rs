@@ -11,7 +11,9 @@
 //! We measure, for real: the FPS rank-update cost at its cap, and the
 //! binned sampler's ingest+select cost at millions of candidates.
 
-use dynim::{BinnedConfig, BinnedSampler, FpsConfig, FarthestPointSampler, HdPoint, KdTreeNn, Sampler};
+use dynim::{
+    BinnedConfig, BinnedSampler, FarthestPointSampler, FpsConfig, HdPoint, KdTreeNn, Sampler,
+};
 
 fn main() {
     println!("# selector capacity at a fixed update budget\n");
@@ -24,7 +26,17 @@ fn main() {
         let y = (i as f64 * 0.569840) % 1.0;
         fps.add(HdPoint::new(
             format!("p{i}"),
-            vec![x, y, (x * 7.3) % 1.0, (y * 3.1) % 1.0, x * y, x - y, x + y, x * 2.0 % 1.0, y * 2.0 % 1.0],
+            vec![
+                x,
+                y,
+                (x * 7.3) % 1.0,
+                (y * 3.1) % 1.0,
+                x * y,
+                x - y,
+                x + y,
+                x * 2.0 % 1.0,
+                y * 2.0 % 1.0,
+            ],
         ));
     }
     // Seed the selected set so rank updates are non-trivial, then measure

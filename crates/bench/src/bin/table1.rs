@@ -28,16 +28,18 @@ fn main() {
     let rows = c.run_table(&schedule);
     let mut total = 0;
     for (nodes, hours, runs, node_hours) in &rows {
-        println!("{nodes}\t{hours} hours\t{runs}\t{}", mummi_bench::group_digits(*node_hours));
+        println!(
+            "{nodes}\t{hours} hours\t{runs}\t{}",
+            mummi_bench::group_digits(*node_hours)
+        );
         total += node_hours;
     }
     // Scale the shortened 1000-node row up for the headline comparison.
-    let projected = if full {
-        total
-    } else {
-        total + 1000 * 24 * 15
-    };
-    println!("\ntotal node hours executed: {}", mummi_bench::group_digits(total));
+    let projected = if full { total } else { total + 1000 * 24 * 15 };
+    println!(
+        "\ntotal node hours executed: {}",
+        mummi_bench::group_digits(total)
+    );
     if !full {
         println!(
             "projected at the paper's full schedule (20 × 1000-node runs): {}",

@@ -41,7 +41,8 @@ fn main() {
     let mut tar = IndexedTar::create(&path).expect("create archive");
     let t0 = std::time::Instant::now();
     for i in 0..n_files {
-        tar.append(&format!("member-{i:07}"), &payload).expect("append");
+        tar.append(&format!("member-{i:07}"), &payload)
+            .expect("append");
     }
     tar.flush().expect("flush");
     let write_dt = t0.elapsed().as_secs_f64();

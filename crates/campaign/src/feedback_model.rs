@@ -57,9 +57,12 @@ impl FeedbackTimingModel {
     pub fn iterate(&mut self, frames: u64) -> Iteration {
         let work = frames as f64 * (self.secs_per_frame + self.overhead_per_frame);
         let ideal = self.fixed_secs + work / self.pool_size as f64;
-        let jitter = LogNormal::new(0.0, self.variability)
-            .expect("valid lognormal")
-            .sample(&mut self.rng);
+        // Degenerate variability (negative/non-finite) degrades to no
+        // jitter instead of aborting the campaign.
+        let jitter = match LogNormal::new(0.0, self.variability) {
+            Ok(dist) => dist.sample(&mut self.rng),
+            Err(_) => 1.0,
+        };
         Iteration {
             frames,
             duration: SimDuration::from_secs_f64(ideal * jitter),
@@ -73,10 +76,14 @@ impl FeedbackTimingModel {
         (0..n)
             .map(|_| {
                 let burst = self.rng.gen_bool(0.01);
-                let lambda = if burst { mean_frames * 4.0 } else { mean_frames };
+                let lambda = if burst {
+                    mean_frames * 4.0
+                } else {
+                    mean_frames
+                };
                 // Poisson-ish sample via normal approximation, clamped.
-                let frames = (lambda + self.rng.gen_range(-1.0..1.0) * lambda.sqrt() * 2.0)
-                    .max(0.0) as u64;
+                let frames =
+                    (lambda + self.rng.gen_range(-1.0..1.0) * lambda.sqrt() * 2.0).max(0.0) as u64;
                 self.iterate(frames)
             })
             .collect()
@@ -87,8 +94,7 @@ impl FeedbackTimingModel {
         if iterations.is_empty() {
             return 0.0;
         }
-        iterations.iter().filter(|i| i.duration <= limit).count() as f64
-            / iterations.len() as f64
+        iterations.iter().filter(|i| i.duration <= limit).count() as f64 / iterations.len() as f64
     }
 }
 

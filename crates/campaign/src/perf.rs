@@ -16,6 +16,26 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal, Normal};
 
+/// Samples `Normal(mean, std)`, degrading to the mean itself when the
+/// parameters are degenerate (negative or non-finite spread). The models
+/// below derive `std` from configurable fields, so a hostile config must
+/// soften to a deterministic sample rather than abort a campaign.
+fn sample_normal(mean: f64, std: f64, rng: &mut StdRng) -> f64 {
+    match Normal::new(mean, std) {
+        Ok(dist) => dist.sample(rng),
+        Err(_) => mean,
+    }
+}
+
+/// Samples `LogNormal(mu, sigma)`, degrading to the median `e^mu` on
+/// degenerate parameters.
+fn sample_lognormal(mu: f64, sigma: f64, rng: &mut StdRng) -> f64 {
+    match LogNormal::new(mu, sigma) {
+        Ok(dist) => dist.sample(rng),
+        Err(_) => mu.exp(),
+    }
+}
+
 /// Continuum throughput (ms of simulated time per day of walltime).
 #[derive(Debug, Clone, Copy)]
 pub struct ContinuumPerf {
@@ -48,8 +68,7 @@ impl ContinuumPerf {
     /// Samples one frame-interval's observed throughput.
     pub fn sample(&self, cores: u64, rng: &mut StdRng) -> f64 {
         let mean = self.mean_ms_per_day(cores);
-        let dist = Normal::new(mean, mean * self.noise).expect("valid normal");
-        dist.sample(rng).max(mean * 0.5)
+        sample_normal(mean, mean * self.noise, rng).max(mean * 0.5)
     }
 }
 
@@ -87,8 +106,7 @@ impl CgPerf {
     /// Samples a system size (particles), normally distributed around the
     /// reference (the paper's Figure 4 x-axis spans ~134–139 K).
     pub fn sample_size(&self, rng: &mut StdRng) -> f64 {
-        let dist = Normal::new(self.ref_particles, 1200.0).expect("valid normal");
-        dist.sample(rng).max(self.ref_particles * 0.9)
+        sample_normal(self.ref_particles, 1200.0, rng).max(self.ref_particles * 0.9)
     }
 
     /// Samples a simulation's throughput given its size and the campaign
@@ -99,12 +117,10 @@ impl CgPerf {
         if progress < self.mpi_bug_until {
             mean *= self.mpi_bug_factor;
         }
-        let base = Normal::new(mean, mean * self.noise)
-            .expect("valid normal")
-            .sample(rng);
+        let base = sample_normal(mean, mean * self.noise, rng);
         if rng.gen_bool(self.straggler_prob) {
             // "the slowest runs showed significant slow down"
-            let slow = LogNormal::new(0.0f64, 0.5).expect("valid lognormal").sample(rng);
+            let slow = sample_lognormal(0.0, 0.5, rng);
             (base / (1.0 + slow)).max(mean * 0.2)
         } else {
             base.max(mean * 0.5)
@@ -139,18 +155,13 @@ impl Default for AaPerf {
 impl AaPerf {
     /// Samples an AA system size (atoms).
     pub fn sample_size(&self, rng: &mut StdRng) -> f64 {
-        Normal::new(self.ref_atoms, 12_000.0)
-            .expect("valid normal")
-            .sample(rng)
-            .max(self.ref_atoms * 0.9)
+        sample_normal(self.ref_atoms, 12_000.0, rng).max(self.ref_atoms * 0.9)
     }
 
     /// Samples a simulation's throughput given its size.
     pub fn sample(&self, atoms: f64, rng: &mut StdRng) -> f64 {
         let mean = self.ref_ns_per_day * self.ref_atoms / atoms.max(1.0);
-        let base = Normal::new(mean, mean * self.noise)
-            .expect("valid normal")
-            .sample(rng);
+        let base = sample_normal(mean, mean * self.noise, rng);
         if rng.gen_bool(self.straggler_prob) {
             (base * 0.85).max(mean * 0.5)
         } else {

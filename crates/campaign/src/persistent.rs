@@ -92,11 +92,7 @@ impl PersistentCampaign {
             offer.node,
         );
         let report = self.campaign.execute_run_on(machine, offer.hours);
-        match self
-            .usage
-            .iter_mut()
-            .find(|u| u.cluster == offer.cluster)
-        {
+        match self.usage.iter_mut().find(|u| u.cluster == offer.cluster) {
             Some(u) => {
                 u.allocations += 1;
                 u.node_hours += report.node_hours;

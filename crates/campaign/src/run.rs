@@ -1,7 +1,9 @@
 //! The multi-run campaign driver.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -126,7 +128,10 @@ pub struct RunReport {
 pub struct Campaign {
     cfg: CampaignConfig,
     seeds: SeedStream,
-    sims: Arc<Mutex<HashMap<String, SimRecord>>>,
+    /// Ordered by sim id: end-of-run iteration re-queues interrupted
+    /// sims into the checkpoint, and that order must not depend on a
+    /// hash function (determinism contract).
+    sims: Arc<Mutex<BTreeMap<String, SimRecord>>>,
     ckpt: Option<WmCheckpoint>,
     /// Aggregated occupancy over all runs (Figure 5).
     profiler: OccupancyProfiler,
@@ -153,7 +158,7 @@ impl Campaign {
         Campaign {
             cfg,
             seeds,
-            sims: Arc::new(Mutex::new(HashMap::new())),
+            sims: Arc::new(Mutex::new(BTreeMap::new())),
             ckpt: None,
             profiler: OccupancyProfiler::new(),
             reports: Vec::new(),
@@ -203,7 +208,6 @@ impl Campaign {
     pub fn cg_lengths(&self) -> Vec<f64> {
         self.sims
             .lock()
-            .expect("campaign sims lock")
             .iter()
             .filter(|(id, _)| id.starts_with("cg-"))
             .map(|(_, r)| r.achieved)
@@ -214,7 +218,6 @@ impl Campaign {
     pub fn aa_lengths(&self) -> Vec<f64> {
         self.sims
             .lock()
-            .expect("campaign sims lock")
             .iter()
             .filter(|(id, _)| id.starts_with("aa-"))
             .map(|(_, r)| r.achieved)
@@ -276,13 +279,14 @@ impl Campaign {
         let samples = Arc::new(Mutex::new((Vec::new(), Vec::new())));
         let samples_in = Arc::clone(&samples);
         wm.set_runtime_model(Box::new(move |class, payload| {
-            let mut sims = sims.lock().expect("campaign sims lock");
-            let rec = sims.entry(payload.to_string()).or_insert_with(|| {
-                match class {
+            let mut sims = sims.lock();
+            let rec = sims
+                .entry(payload.to_string())
+                .or_insert_with(|| match class {
                     JobClass::CgSim => {
                         let size = cg_perf.sample_size(&mut model_rng);
                         let rate = cg_perf.sample(size, progress, &mut model_rng);
-                        samples_in.lock().expect("samples lock").0.push((size, rate));
+                        samples_in.lock().0.push((size, rate));
                         SimRecord {
                             target: cg_target_us,
                             achieved: 0.0,
@@ -293,7 +297,7 @@ impl Campaign {
                     _ => {
                         let size = aa_perf.sample_size(&mut model_rng);
                         let rate = aa_perf.sample(size, &mut model_rng);
-                        samples_in.lock().expect("samples lock").1.push((size, rate));
+                        samples_in.lock().1.push((size, rate));
                         SimRecord {
                             target: model_rng.gen_range(aa_lo..aa_hi),
                             achieved: 0.0,
@@ -301,8 +305,7 @@ impl Campaign {
                             started_at: None,
                         }
                     }
-                }
-            });
+                });
             let remaining = (rec.target - rec.achieved).max(0.0);
             let days = remaining / rec.rate_per_day.max(1e-9);
             Some(SimDuration::from_secs_f64(days * 86_400.0).max(SimDuration::from_mins(5)))
@@ -331,25 +334,26 @@ impl Campaign {
         let mut nodes_failed = 0u64;
         let mut jobs_crashed = 0u64;
         // Per-tick node-failure probability from the daily rate.
-        let failure_prob_per_tick = (self.cfg.node_failures_per_day
-            * self.cfg.poll_interval.as_hours_f64()
-            / 24.0)
-            .min(1.0);
+        let failure_prob_per_tick =
+            (self.cfg.node_failures_per_day * self.cfg.poll_interval.as_hours_f64() / 24.0)
+                .min(1.0);
 
         while t <= end {
             // Continuum output: new snapshot → patch candidates.
             while next_snapshot <= t {
                 self.snapshots += 1;
-                self.cont_samples
-                    .push(cont_perf.sample(JobShape::continuum(cont_nodes).total_cores(), &mut rng));
+                self.cont_samples.push(
+                    cont_perf.sample(JobShape::continuum(cont_nodes).total_cores(), &mut rng),
+                );
                 let mut points = Vec::with_capacity(self.cfg.patches_per_snapshot);
                 for _ in 0..self.cfg.patches_per_snapshot {
                     self.next_id += 1;
                     self.patches += 1;
                     let id = format!("cg-{:010}", self.next_id);
                     let state = rng.gen_range(0..app3::PATCH_QUEUES);
-                    let encoded: Vec<f64> =
-                        (0..app3::PATCH_LATENT_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let encoded: Vec<f64> = (0..app3::PATCH_LATENT_DIM)
+                        .map(|_| rng.gen_range(-1.0..1.0))
+                        .collect();
                     points.push(app3::state_tagged_point(&id, state, encoded));
                 }
                 wm.add_patch_candidates(points);
@@ -394,20 +398,15 @@ impl Campaign {
             // The WM cycle.
             for ev in wm.tick(t, &mut store) {
                 match ev {
-                    WmEvent::CgSimStarted { sim_id, .. }
-                    | WmEvent::AaSimStarted { sim_id, .. } => {
+                    WmEvent::CgSimStarted { sim_id, .. } | WmEvent::AaSimStarted { sim_id, .. } => {
                         placed += 1;
-                        if let Some(rec) =
-                            self.sims.lock().expect("campaign sims lock").get_mut(&sim_id)
-                        {
+                        if let Some(rec) = self.sims.lock().get_mut(&sim_id) {
                             rec.started_at = Some(t);
                         }
                     }
                     WmEvent::CgSimFinished { sim_id } | WmEvent::AaSimFinished { sim_id } => {
                         completed += 1;
-                        if let Some(rec) =
-                            self.sims.lock().expect("campaign sims lock").get_mut(&sim_id)
-                        {
+                        if let Some(rec) = self.sims.lock().get_mut(&sim_id) {
                             rec.achieved = rec.target;
                             rec.started_at = None;
                         }
@@ -428,12 +427,11 @@ impl Campaign {
         // queue them for the next allocation (restart from checkpoints).
         let mut ckpt = wm.checkpoint();
         {
-            let mut sims = self.sims.lock().expect("campaign sims lock");
+            let mut sims = self.sims.lock();
             for (id, rec) in sims.iter_mut() {
                 if let Some(started) = rec.started_at.take() {
                     let days = end.since(started).as_hours_f64() / 24.0;
-                    rec.achieved =
-                        (rec.achieved + rec.rate_per_day * days).min(rec.target);
+                    rec.achieved = (rec.achieved + rec.rate_per_day * days).min(rec.target);
                     if rec.achieved < rec.target {
                         if id.starts_with("cg-") {
                             ckpt.cg_ready.insert(0, id.clone());
@@ -447,7 +445,7 @@ impl Campaign {
 
         // Fold the run's perf samples and profile into campaign state.
         {
-            let mut s = samples.lock().expect("samples lock");
+            let mut s = samples.lock();
             self.cg_samples.append(&mut s.0);
             self.aa_samples.append(&mut s.1);
         }
@@ -546,7 +544,10 @@ mod tests {
         // more sims appear.
         let sum1: f64 = lens_after_1.iter().sum();
         let sum2: f64 = lens_after_2.iter().sum();
-        assert!(sum2 > sum1, "campaign accumulates trajectory: {sum1} -> {sum2}");
+        assert!(
+            sum2 > sum1,
+            "campaign accumulates trajectory: {sum1} -> {sum2}"
+        );
     }
 
     #[test]

@@ -1,3 +1,8 @@
+//! Manual probe for campaign restart behaviour. Reports **virtual** time
+//! only — the determinism contract bans wall-clock reads in sim-path
+//! crates, and a probe that prints host timings invites comparing
+//! numbers that are meaningless across machines.
+
 use campaign::{Campaign, CampaignConfig};
 
 #[test]
@@ -5,12 +10,23 @@ use campaign::{Campaign, CampaignConfig};
 fn probe_restart() {
     let mut c = Campaign::new(CampaignConfig::default());
     for i in 0..3 {
-        let t0 = std::time::Instant::now();
         let r = c.execute_run(1000, 24);
-        eprintln!("run{} wall={:?} placed={} completed={} occ={:.1}% load={:?} peak={}",
-            i, t0.elapsed(), r.placed, r.sims_completed, r.gpu_mean_occupancy,
-            r.load_time.map(|t| t.as_hours_f64()), r.peak_gpu_jobs);
+        eprintln!(
+            "run{} virtual_hours={} placed={} completed={} occ={:.1}% load={:?} peak={}",
+            i,
+            r.hours,
+            r.placed,
+            r.sims_completed,
+            r.gpu_mean_occupancy,
+            r.load_time.map(|t| t.as_hours_f64()),
+            r.peak_gpu_jobs
+        );
     }
     let f98 = c.profiler().fraction_gpu_at_least(98.0);
-    eprintln!("frac gpu>=98%: {:.3}; lens cg={} aa={}", f98, c.cg_lengths().len(), c.aa_lengths().len());
+    eprintln!(
+        "frac gpu>=98%: {:.3}; lens cg={} aa={}",
+        f98,
+        c.cg_lengths().len(),
+        c.aa_lengths().len()
+    );
 }

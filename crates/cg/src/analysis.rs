@@ -221,9 +221,7 @@ mod tests {
         });
         m.relax(80);
         m.run(3000);
-        let near = |s: usize| -> f64 {
-            compute_rdf(&m, s, 20, 5.0)[2..8].iter().sum()
-        };
+        let near = |s: usize| -> f64 { compute_rdf(&m, s, 20, 5.0)[2..8].iter().sum() };
         let attracted = near(0);
         let neutral = near(2);
         assert!(

@@ -309,7 +309,9 @@ impl MdSystem {
             if s.pos.len() == n && s.typ.len() == n {
                 Ok(s)
             } else {
-                Err(datastore::DataError::Codec("inconsistent checkpoint".into()))
+                Err(datastore::DataError::Codec(
+                    "inconsistent checkpoint".into(),
+                ))
             }
         })
     }
@@ -470,7 +472,11 @@ mod tests {
         };
         let (e0, e1) = sys.minimize(&ff, 200, 0.1);
         assert!(e1 < e0);
-        assert!((sys.dist(0, 1) - 2.0).abs() < 0.01, "bond at {}", sys.dist(0, 1));
+        assert!(
+            (sys.dist(0, 1) - 2.0).abs() < 0.01,
+            "bond at {}",
+            sys.dist(0, 1)
+        );
     }
 
     #[test]
@@ -570,11 +576,18 @@ mod tests {
                 e_slow += 0.5 * 4.0 * (sr12 - sr6);
             }
         }
-        assert!((e_fast - e_slow).abs() < 1e-9, "{e_fast} vs {e_slow}");
+        // Tolerance scales with magnitude: a near-contact pair can push
+        // forces past 1e8, where cell-list vs all-pairs summation order
+        // legitimately differs in the last ulp.
+        let tol = |reference: f64| 1e-9 + 1e-12 * reference.abs();
+        assert!(
+            (e_fast - e_slow).abs() < tol(e_slow),
+            "{e_fast} vs {e_slow}"
+        );
         for i in 0..n {
             for k in 0..3 {
                 assert!(
-                    (fast[i][k] - slow[i][k]).abs() < 1e-9,
+                    (fast[i][k] - slow[i][k]).abs() < tol(slow[i][k]),
                     "particle {i} axis {k}: {} vs {}",
                     fast[i][k],
                     slow[i][k]

@@ -135,12 +135,10 @@ impl Grid2 {
                     let xr = (x + 1) % nx;
                     let xl = (x + nx - 1) % nx;
                     let c = src[y * nx + x];
-                    row[x] = (src[y * nx + xr]
-                        + src[y * nx + xl]
-                        + src[yu * nx + x]
-                        + src[yd * nx + x]
-                        - 4.0 * c)
-                        * inv_h2;
+                    row[x] =
+                        (src[y * nx + xr] + src[y * nx + xl] + src[yu * nx + x] + src[yd * nx + x]
+                            - 4.0 * c)
+                            * inv_h2;
                 }
             });
     }

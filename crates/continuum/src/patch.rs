@@ -199,8 +199,7 @@ mod tests {
             assert_eq!(p.windows[0].shape(), &[37, 37]);
         }
         // IDs are unique.
-        let ids: std::collections::HashSet<&str> =
-            patches.iter().map(|p| p.id.as_str()).collect();
+        let ids: std::collections::HashSet<&str> = patches.iter().map(|p| p.id.as_str()).collect();
         assert_eq!(ids.len(), 5);
     }
 
@@ -222,10 +221,8 @@ mod tests {
         };
         let patches = extract_patches(&snap, &cfg);
         for p in &patches {
-            let mean: f64 =
-                p.windows[0].data().iter().sum::<f64>() / p.windows[0].len() as f64;
-            let global = snap.fields[0].data().iter().sum::<f64>()
-                / snap.fields[0].len() as f64;
+            let mean: f64 = p.windows[0].data().iter().sum::<f64>() / p.windows[0].len() as f64;
+            let global = snap.fields[0].data().iter().sum::<f64>() / snap.fields[0].len() as f64;
             assert!(
                 mean > global,
                 "patch at a protein should see enriched species 0: {mean} vs {global}"

@@ -269,10 +269,7 @@ impl ContinuumSim {
         let fa = self.fields[a].data();
         let fb = self.fields[b].data();
         let n = fa.len() as f64;
-        let (ma, mb) = (
-            fa.iter().sum::<f64>() / n,
-            fb.iter().sum::<f64>() / n,
-        );
+        let (ma, mb) = (fa.iter().sum::<f64>() / n, fb.iter().sum::<f64>() / n);
         let mut cov = 0.0;
         let mut va = 0.0;
         let mut vb = 0.0;
@@ -548,10 +545,7 @@ mod tests {
         let run = || {
             let mut sim = ContinuumSim::new(tiny());
             sim.run(50);
-            (
-                sim.proteins().to_vec(),
-                sim.field(0).data().to_vec(),
-            )
+            (sim.proteins().to_vec(), sim.field(0).data().to_vec())
         };
         let (p1, f1) = run();
         let (p2, f2) = run();
@@ -579,9 +573,8 @@ mod tests {
             strength: vec![vec![0.0; 99]; 2],
             range: 2.0,
         };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            sim.set_coupling(bad)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || sim.set_coupling(bad)));
         assert!(result.is_err());
     }
 

@@ -175,6 +175,9 @@ mod tests {
         big_cfg.nx = 32;
         big_cfg.ny = 32;
         let big = ContinuumSim::new(big_cfg).snapshot().encode().len();
-        assert!(big > small * 3, "snapshot bytes should scale ~4x: {small} vs {big}");
+        assert!(
+            big > small * 3,
+            "snapshot bytes should scale ~4x: {small} vs {big}"
+        );
     }
 }

@@ -71,14 +71,15 @@ impl FsStore {
     }
 
     fn retrying<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
-        let mut last = None;
-        for _ in 0..self.retries {
+        let budget = self.retries.max(1);
+        let mut attempt = 1;
+        loop {
             match op() {
                 Ok(v) => return Ok(v),
-                Err(e) => last = Some(e),
+                Err(e) if attempt >= budget => return Err(e),
+                Err(_) => attempt += 1,
             }
         }
-        Err(last.expect("at least one attempt"))
     }
 }
 

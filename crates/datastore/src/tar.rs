@@ -4,7 +4,8 @@
 //! billion files … across 114,552 tar archives — a 9000× reduction in the
 //! number of files (and inodes) while retaining efficient random access."
 
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use taridx::IndexedTar;
@@ -17,7 +18,9 @@ use crate::{DataError, Result};
 #[derive(Debug)]
 pub struct TarStore {
     root: PathBuf,
-    archives: HashMap<String, IndexedTar>,
+    // Ordered by namespace so bulk operations (repack_all, flush) touch
+    // archives in a stable order regardless of open history.
+    archives: BTreeMap<String, IndexedTar>,
 }
 
 impl TarStore {
@@ -27,7 +30,7 @@ impl TarStore {
         std::fs::create_dir_all(&root)?;
         Ok(TarStore {
             root,
-            archives: HashMap::new(),
+            archives: BTreeMap::new(),
         })
     }
 
@@ -54,16 +57,18 @@ impl TarStore {
     }
 
     fn archive(&mut self, ns: &str) -> Result<&mut IndexedTar> {
-        if !self.archives.contains_key(ns) {
-            let path = self.root.join(format!("{ns}.tar"));
-            let tar = if path.exists() {
-                IndexedTar::open(&path)?
-            } else {
-                IndexedTar::create(&path)?
-            };
-            self.archives.insert(ns.to_string(), tar);
+        match self.archives.entry(ns.to_string()) {
+            Entry::Occupied(slot) => Ok(slot.into_mut()),
+            Entry::Vacant(slot) => {
+                let path = self.root.join(format!("{ns}.tar"));
+                let tar = if path.exists() {
+                    IndexedTar::open(&path)?
+                } else {
+                    IndexedTar::create(&path)?
+                };
+                Ok(slot.insert(tar))
+            }
         }
-        Ok(self.archives.get_mut(ns).expect("just inserted"))
     }
 }
 

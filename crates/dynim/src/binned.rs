@@ -51,7 +51,11 @@ impl BinnedConfig {
     }
 
     fn total_bins(&self) -> usize {
-        self.dims.iter().map(|&(_, _, b)| b).product::<usize>().max(1)
+        self.dims
+            .iter()
+            .map(|&(_, _, b)| b)
+            .product::<usize>()
+            .max(1)
     }
 }
 
@@ -248,7 +252,10 @@ mod tests {
         let sel = s.select(200);
         let from_a = sel.iter().filter(|q| q.id.starts_with('a')).count();
         // ~90% expected from the big bin.
-        assert!(from_a > 150, "random mode should follow occupancy: {from_a}");
+        assert!(
+            from_a > 150,
+            "random mode should follow occupancy: {from_a}"
+        );
     }
 
     #[test]

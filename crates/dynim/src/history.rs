@@ -68,8 +68,7 @@ impl History {
         for ev in &self.events {
             match ev {
                 HistoryEvent::Added(p) => {
-                    let coords: Vec<String> =
-                        p.coords.iter().map(|c| format!("{c:e}")).collect();
+                    let coords: Vec<String> = p.coords.iter().map(|c| format!("{c:e}")).collect();
                     out.push_str(&format!("A {} {}\n", p.id, coords.join(",")));
                 }
                 HistoryEvent::Selected(id) => out.push_str(&format!("S {id}\n")),
@@ -137,13 +136,15 @@ impl History {
         }
         let mut out = History::new();
         for (id, coords) in selected {
-            out.events.push(HistoryEvent::Added(HdPoint::new(&*id, coords)));
+            out.events
+                .push(HistoryEvent::Added(HdPoint::new(&*id, coords)));
             out.events.push(HistoryEvent::Selected(id));
         }
         let mut live: Vec<(String, (Vec<f64>, usize))> = live.into_iter().collect();
         live.sort_by_key(|(_, (_, s))| *s);
         for (id, (coords, _)) in live {
-            out.events.push(HistoryEvent::Added(HdPoint::new(id, coords)));
+            out.events
+                .push(HistoryEvent::Added(HdPoint::new(id, coords)));
         }
         out
     }
@@ -229,7 +230,11 @@ mod tests {
         // Both continue identically after replay.
         assert_eq!(
             live.select(3).into_iter().map(|q| q.id).collect::<Vec<_>>(),
-            replayed.select(3).into_iter().map(|q| q.id).collect::<Vec<_>>()
+            replayed
+                .select(3)
+                .into_iter()
+                .map(|q| q.id)
+                .collect::<Vec<_>>()
         );
     }
 

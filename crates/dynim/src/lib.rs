@@ -43,7 +43,7 @@ mod multiqueue;
 mod point;
 
 pub use ann::{ExactNn, KdTreeNn, NnIndex};
-pub use binned::{BinnedSampler, BinnedConfig};
+pub use binned::{BinnedConfig, BinnedSampler};
 pub use fps::{FarthestPointSampler, FpsConfig};
 pub use history::{History, HistoryEvent};
 pub use multiqueue::MultiQueueSampler;

@@ -63,7 +63,6 @@ impl MultiQueueSampler {
     pub fn evicted(&self) -> u64 {
         self.queues.iter().map(|q| q.evicted()).sum()
     }
-
 }
 
 impl Sampler for MultiQueueSampler {
@@ -109,11 +108,7 @@ mod tests {
 
     fn selector() -> MultiQueueSampler {
         // Route by the integer part of the first coordinate.
-        MultiQueueSampler::new(
-            5,
-            100,
-            Box::new(|p: &HdPoint| p.coords[0] as usize),
-        )
+        MultiQueueSampler::new(5, 100, Box::new(|p: &HdPoint| p.coords[0] as usize))
     }
 
     fn p(id: &str, q: usize, x: f64) -> HdPoint {

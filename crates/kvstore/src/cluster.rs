@@ -216,7 +216,11 @@ impl Client {
             out.extend(shard.keys(pattern));
         }
         let key_bytes: u64 = out.iter().map(|k| k.len() as u64).sum();
-        self.charge(self.cluster.shards.len() as u64, out.len() as u64, key_bytes);
+        self.charge(
+            self.cluster.shards.len() as u64,
+            out.len() as u64,
+            key_bytes,
+        );
         out
     }
 
@@ -230,11 +234,8 @@ impl Client {
         let mut shard_cursor = cursor & 0xffff_ffff;
         let mut out = Vec::new();
         while shard_idx < shards as usize && out.len() < count {
-            let (batch, next) = self.cluster.shards[shard_idx].scan(
-                pattern,
-                shard_cursor,
-                count - out.len(),
-            );
+            let (batch, next) =
+                self.cluster.shards[shard_idx].scan(pattern, shard_cursor, count - out.len());
             let batch_bytes: u64 = batch.iter().map(|k| k.len() as u64).sum();
             self.charge(0, batch.len() as u64, batch_bytes);
             out.extend(batch);
@@ -319,7 +320,10 @@ mod tests {
         }
         assert_eq!(c.len(), 1000);
         let occupied = (0..8).filter(|&i| !c.shard(i).is_empty()).count();
-        assert!(occupied >= 6, "expected most shards occupied, got {occupied}");
+        assert!(
+            occupied >= 6,
+            "expected most shards occupied, got {occupied}"
+        );
     }
 
     #[test]
@@ -330,8 +334,9 @@ mod tests {
         let other = c.shard_for("rdf:new:{sim43}:f1");
         assert_eq!(a, b);
         // Different tags need not differ, but over many tags they spread.
-        let distinct: std::collections::HashSet<usize> =
-            (0..100).map(|i| c.shard_for(&format!("{{sim{i}}}"))).collect();
+        let distinct: std::collections::HashSet<usize> = (0..100)
+            .map(|i| c.shard_for(&format!("{{sim{i}}}")))
+            .collect();
         assert!(distinct.len() > 8);
         let _ = other;
     }
@@ -341,7 +346,9 @@ mod tests {
         let c = Cluster::new(16);
         let client = Client::new(c);
         client.set("rdf:new:{s1}:f1", &b"data"[..]);
-        client.rename("rdf:new:{s1}:f1", "rdf:done:{s1}:f1").unwrap();
+        client
+            .rename("rdf:new:{s1}:f1", "rdf:done:{s1}:f1")
+            .unwrap();
         assert!(client.get("rdf:new:{s1}:f1").is_none());
         assert_eq!(client.get("rdf:done:{s1}:f1").unwrap().as_ref(), b"data");
     }

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::glob::glob_match;
 use crate::{KvError, Result};
@@ -12,9 +12,15 @@ use crate::{KvError, Result};
 /// Values are [`Bytes`], so handing a value to many readers is a cheap
 /// refcount bump rather than a copy — important for feedback loops that
 /// fetch thousands of RDF blobs per iteration.
+///
+/// Keys live in a [`BTreeMap`]: `keys`/`scan` results come back in key
+/// order, so feedback iterations consume frames in the same order on
+/// every run (determinism contract — no hash-ordered iteration leaks
+/// into coordination decisions). Scan cursors are positions in that
+/// stable order.
 #[derive(Debug, Default)]
 pub struct Shard {
-    map: RwLock<HashMap<String, Bytes>>,
+    map: RwLock<BTreeMap<String, Bytes>>,
 }
 
 impl Shard {
@@ -96,9 +102,9 @@ impl Shard {
     /// the behaviour production deployments need at the paper's frame
     /// volumes.
     ///
-    /// The cursor is a position in the shard's current iteration order;
-    /// like Redis, the scan guarantees that keys present for the whole
-    /// scan are returned at least once, not exactly once under concurrent
+    /// The cursor is a position in the shard's key order; like Redis,
+    /// the scan guarantees that keys present for the whole scan are
+    /// returned at least once, not exactly once under concurrent
     /// mutation.
     pub fn scan(&self, pattern: &str, cursor: u64, count: usize) -> (Vec<String>, Option<u64>) {
         let map = self.map.read();

@@ -1,0 +1,155 @@
+//! Tier-1 gate: the workspace must satisfy the determinism contract, and
+//! the linter must actually catch a seeded violation of every rule.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use lint::{lint_file, lint_workspace, Config, Violation};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_satisfies_the_determinism_contract() {
+    let violations = lint_workspace(&workspace_root()).expect("lint pass runs");
+    assert!(
+        violations.is_empty(),
+        "determinism contract violated:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Runs the per-file pass on scratch source attributed to `rel`.
+fn scratch(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut counts = BTreeMap::new();
+    lint_file(rel, source, config, &mut violations, &mut counts);
+    violations
+}
+
+fn assert_fires(violations: &[Violation], rule: &str, file: &str, line: usize) {
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == rule && v.file == file && v.line == line),
+        "expected {rule} at {file}:{line}, got: {violations:?}"
+    );
+}
+
+#[test]
+fn l1_catches_wall_clock_in_sim_path() {
+    let src = "fn tick() {\n    let t0 = std::time::Instant::now();\n}\n";
+    let v = scratch("crates/simcore/src/clock.rs", src, &Config::default());
+    assert_fires(&v, "L1", "crates/simcore/src/clock.rs", 2);
+
+    // The same line in an exempt file is clean.
+    let mut cfg = Config::default();
+    cfg.l1_exempt.insert(
+        "crates/bench/src/bin/probe.rs".into(),
+        "measures real time".into(),
+    );
+    assert!(scratch("crates/bench/src/bin/probe.rs", src, &cfg).is_empty());
+}
+
+#[test]
+fn l2_catches_unseeded_randomness_even_in_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() { let x: u64 = rand::random(); }\n}\n";
+    let v = scratch("crates/cg/src/engine.rs", src, &Config::default());
+    assert_fires(&v, "L2", "crates/cg/src/engine.rs", 3);
+
+    let src2 = "fn f() { let mut rng = rand::thread_rng(); }\n";
+    let v2 = scratch("tests/property_tests.rs", src2, &Config::default());
+    assert_fires(&v2, "L2", "tests/property_tests.rs", 1);
+}
+
+#[test]
+fn l3_catches_unordered_containers_in_coordination_crates() {
+    let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {\n    for _ in m.iter() {}\n}\n";
+    let v = scratch("crates/sched/src/engine.rs", src, &Config::default());
+    assert_fires(&v, "L3", "crates/sched/src/engine.rs", 1);
+    assert_fires(&v, "L3", "crates/sched/src/engine.rs", 2);
+
+    // Outside the coordination crates the type is fine.
+    assert!(scratch("crates/cg/src/engine.rs", src, &Config::default()).is_empty());
+    // Inline allow silences a justified key-access-only use.
+    let allowed = "use std::collections::HashMap; // lint: allow(L3) key access only\n";
+    assert!(scratch("crates/sched/src/engine.rs", allowed, &Config::default()).is_empty());
+    // Test modules are exempt.
+    let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+    assert!(scratch("crates/sched/src/engine.rs", test_src, &Config::default()).is_empty());
+}
+
+#[test]
+fn l4_catches_unwrap_on_the_coordination_path() {
+    let src = "fn f() {\n    let x = std::fs::read(\"p\").unwrap();\n    let _ = x;\n}\n";
+    let v = scratch("crates/datastore/src/fs.rs", src, &Config::default());
+    assert_fires(&v, "L4", "crates/datastore/src/fs.rs", 2);
+
+    // A budget in lint.toml grandfathers exactly that many calls.
+    let mut cfg = Config::default();
+    cfg.l4_allow.insert("crates/datastore/src/fs.rs".into(), 1);
+    assert!(scratch("crates/datastore/src/fs.rs", src, &cfg).is_empty());
+    // But one more call than the budget still fires.
+    let src2 = "fn f() { a.unwrap(); b.expect(\"x\"); }\n";
+    let v2 = scratch("crates/datastore/src/fs.rs", src2, &cfg);
+    assert_fires(&v2, "L4", "crates/datastore/src/fs.rs", 1);
+}
+
+#[test]
+fn l4_budgets_may_only_ratchet_down() {
+    // A stale budget (larger than the real count) fails the whole pass:
+    // build a scratch workspace with a clean file but a leftover budget.
+    let dir = std::env::temp_dir().join(format!("mummi-lint-ratchet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/sched/src")).unwrap();
+    std::fs::write(dir.join("crates/sched/src/lib.rs"), "pub fn ok() {}\n").unwrap();
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[l4_allow]\n\"crates/sched/src/lib.rs\" = 5\n",
+    )
+    .unwrap();
+    let v = lint_workspace(&dir).expect("pass runs");
+    assert!(
+        v.iter().any(|v| v.rule == "L4" && v.file == "lint.toml"),
+        "stale budget must be flagged: {v:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn l5_catches_raw_state_writes_outside_the_state_machine() {
+    let src = "fn f(rec: &mut JobRecord) {\n    rec.state = JobState::Queued;\n}\n";
+    let v = scratch("crates/sched/src/engine.rs", src, &Config::default());
+    assert_fires(&v, "L5", "crates/sched/src/engine.rs", 2);
+
+    // The state-machine module itself may write states.
+    assert!(scratch("crates/sched/src/job.rs", src, &Config::default()).is_empty());
+    // Comparisons and advance_to calls are not writes.
+    let clean = "fn f() {\n    if rec.state == JobState::Queued { rec.state.advance_to(JobState::Running); }\n}\n";
+    assert!(scratch("crates/sched/src/engine.rs", clean, &Config::default()).is_empty());
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let src = "fn f() { let t = std::time::SystemTime::now(); }\n";
+    let v = scratch("crates/taridx/src/archive.rs", src, &Config::default());
+    assert_eq!(v.len(), 1);
+    let rendered = v[0].to_string();
+    assert!(
+        rendered.contains("crates/taridx/src/archive.rs:1"),
+        "{rendered}"
+    );
+    let json = lint::to_json(&v);
+    assert!(json.contains("\"rule\":\"L1\""), "{json}");
+    assert!(json.contains("\"line\":1"), "{json}");
+}

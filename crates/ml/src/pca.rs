@@ -129,12 +129,7 @@ impl Pca {
 /// Leading eigenpair of a symmetric matrix by power iteration, kept
 /// orthogonal to `prior` components (robust when eigenvalues are nearly
 /// degenerate, where deflation alone drifts).
-fn power_iteration(
-    a: &Matrix,
-    max_iters: usize,
-    tol: f64,
-    prior: &[Vec<f64>],
-) -> (Vec<f64>, f64) {
+fn power_iteration(a: &Matrix, max_iters: usize, tol: f64, prior: &[Vec<f64>]) -> (Vec<f64>, f64) {
     let d = a.rows();
     // Deterministic, non-degenerate start vector.
     let mut v: Vec<f64> = (0..d).map(|i| 1.0 + (i as f64) * 1e-3).collect();
@@ -217,11 +212,7 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let mut rng = StdRng::seed_from_u64(9);
-        let data = Matrix::from_vec(
-            200,
-            4,
-            (0..800).map(|_| rng.gen_range(-1.0..1.0)).collect(),
-        );
+        let data = Matrix::from_vec(200, 4, (0..800).map(|_| rng.gen_range(-1.0..1.0)).collect());
         let pca = Pca::fit(&data, 3);
         for i in 0..3 {
             for j in 0..3 {

@@ -37,11 +37,7 @@ pub const PATCH_LATENT_DIM: usize = 9;
 ///
 /// The returned closure maps a feature vector to selector coordinates.
 /// Training is deterministic for a seed.
-pub fn train_patch_encoder(
-    kind: EncoderKind,
-    samples: &[Vec<f64>],
-    seed: u64,
-) -> PatchEncoder {
+pub fn train_patch_encoder(kind: EncoderKind, samples: &[Vec<f64>], seed: u64) -> PatchEncoder {
     assert!(!samples.is_empty(), "encoder training needs samples");
     let dim = samples[0].len();
     let flat: Vec<f64> = samples.iter().flatten().copied().collect();

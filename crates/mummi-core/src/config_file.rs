@@ -20,7 +20,7 @@
 //! Durations accept `s`, `m`, and `h` suffixes. Unknown keys are errors —
 //! a silently ignored typo in a 24-hour allocation is an expensive typo.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::SimDuration;
 
@@ -43,13 +43,15 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// Parsed INI: section → key → (value, line).
-pub type Ini = HashMap<String, HashMap<String, (String, usize)>>;
+/// Parsed INI: section → key → (value, line). Ordered maps so that
+/// iteration (and therefore which of several bad keys gets reported)
+/// is deterministic.
+pub type Ini = BTreeMap<String, BTreeMap<String, (String, usize)>>;
 
 /// Parses the INI dialect: `[section]` headers, `key = value` pairs,
 /// `#`/`;` comments, blank lines.
 pub fn parse_ini(text: &str) -> Result<Ini, ConfigError> {
-    let mut out: Ini = HashMap::new();
+    let mut out: Ini = BTreeMap::new();
     let mut section = String::new();
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -74,10 +76,9 @@ pub fn parse_ini(text: &str) -> Result<Ini, ConfigError> {
             line: lineno,
             message: format!("expected `key = value`, got {line:?}"),
         })?;
-        out.entry(section.clone()).or_default().insert(
-            key.trim().to_string(),
-            (value.trim().to_string(), lineno),
-        );
+        out.entry(section.clone())
+            .or_default()
+            .insert(key.trim().to_string(), (value.trim().to_string(), lineno));
     }
     Ok(out)
 }
@@ -122,16 +123,13 @@ impl WmConfig {
             };
             match key.as_str() {
                 "cg_gpu_fraction" => {
-                    cfg.cg_gpu_fraction =
-                        value.parse().map_err(|_| bad("expected a float"))?;
+                    cfg.cg_gpu_fraction = value.parse().map_err(|_| bad("expected a float"))?;
                 }
                 "cg_ready_buffer" => {
-                    cfg.cg_ready_buffer =
-                        value.parse().map_err(|_| bad("expected an integer"))?;
+                    cfg.cg_ready_buffer = value.parse().map_err(|_| bad("expected an integer"))?;
                 }
                 "aa_ready_buffer" => {
-                    cfg.aa_ready_buffer =
-                        value.parse().map_err(|_| bad("expected an integer"))?;
+                    cfg.aa_ready_buffer = value.parse().map_err(|_| bad("expected an integer"))?;
                 }
                 "poll_interval" => cfg.poll_interval = parse_duration(value, line)?,
                 "feedback_interval" => cfg.feedback_interval = parse_duration(value, line)?,
@@ -145,12 +143,10 @@ impl WmConfig {
                 "cg_setup_runtime" => cfg.cg_setup_runtime = parse_duration(value, line)?,
                 "aa_setup_runtime" => cfg.aa_setup_runtime = parse_duration(value, line)?,
                 "job_failure_prob" => {
-                    cfg.job_failure_prob =
-                        value.parse().map_err(|_| bad("expected a float"))?;
+                    cfg.job_failure_prob = value.parse().map_err(|_| bad("expected a float"))?;
                 }
                 "record_history" => {
-                    cfg.record_history =
-                        value.parse().map_err(|_| bad("expected true/false"))?;
+                    cfg.record_history = value.parse().map_err(|_| bad("expected true/false"))?;
                 }
                 "seed" => {
                     cfg.seed = value.parse().map_err(|_| bad("expected an integer"))?;
@@ -172,7 +168,10 @@ impl WmConfig {
         if !(0.0..=1.0).contains(&cfg.job_failure_prob) {
             return Err(ConfigError {
                 line: 0,
-                message: format!("job_failure_prob must be in [0,1]: {}", cfg.job_failure_prob),
+                message: format!(
+                    "job_failure_prob must be in [0,1]: {}",
+                    cfg.job_failure_prob
+                ),
             });
         }
         Ok(cfg)
@@ -246,8 +245,14 @@ mod tests {
 
     #[test]
     fn durations_parse_all_units() {
-        assert_eq!(parse_duration("90s", 1).unwrap(), SimDuration::from_secs(90));
-        assert_eq!(parse_duration("1.5m", 1).unwrap(), SimDuration::from_secs(90));
+        assert_eq!(
+            parse_duration("90s", 1).unwrap(),
+            SimDuration::from_secs(90)
+        );
+        assert_eq!(
+            parse_duration("1.5m", 1).unwrap(),
+            SimDuration::from_secs(90)
+        );
         assert_eq!(parse_duration("2h", 1).unwrap(), SimDuration::from_hours(2));
         assert_eq!(parse_duration("45", 1).unwrap(), SimDuration::from_secs(45));
     }

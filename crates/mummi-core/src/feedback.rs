@@ -205,8 +205,8 @@ impl FeedbackManager for AaToCgFeedback {
             return None;
         }
         let cons = consensus(&self.patterns);
-        let helix = cons.iter().filter(|&&c| c == SsClass::Helix).count() as f64
-            / cons.len().max(1) as f64;
+        let helix =
+            cons.iter().filter(|&&c| c == SsClass::Helix).count() as f64 / cons.len().max(1) as f64;
         Some(CgParams {
             helix_fraction: helix,
             bond_k_factor: 1.0 + helix,

@@ -7,7 +7,7 @@
 //! runtime model, maps scheduler events back to application payloads
 //! (patch ids, simulation ids), and resubmits failures up to a budget.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -79,8 +79,8 @@ pub enum Tracked {
 #[derive(Debug)]
 pub struct JobTracker {
     cfg: TrackerConfig,
-    live: HashMap<JobId, String>,
-    attempts: HashMap<String, u32>,
+    live: BTreeMap<JobId, String>,
+    attempts: BTreeMap<String, u32>,
     submitted: u64,
     completed: u64,
     failed: u64,
@@ -91,8 +91,8 @@ impl JobTracker {
     pub fn new(cfg: TrackerConfig) -> JobTracker {
         JobTracker {
             cfg,
-            live: HashMap::new(),
-            attempts: HashMap::new(),
+            live: BTreeMap::new(),
+            attempts: BTreeMap::new(),
             submitted: 0,
             completed: 0,
             failed: 0,

@@ -167,9 +167,17 @@ impl<L: Launcher> WorkflowManager<L> {
         };
         WorkflowManager {
             cg_setup: mk(JobClass::CgSetup, JobShape::setup(), cfg.cg_setup_runtime),
-            cg_sim: mk(JobClass::CgSim, JobShape::sim_standard(), cfg.cg_sim_runtime),
+            cg_sim: mk(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                cfg.cg_sim_runtime,
+            ),
             aa_setup: mk(JobClass::AaSetup, JobShape::setup(), cfg.aa_setup_runtime),
-            aa_sim: mk(JobClass::AaSim, JobShape::sim_standard(), cfg.aa_sim_runtime),
+            aa_sim: mk(
+                JobClass::AaSim,
+                JobShape::sim_standard(),
+                cfg.aa_sim_runtime,
+            ),
             cg_feedback: CgToContinuumFeedback::new(n_species),
             aa_feedback: AaToCgFeedback::new(),
             throttle,
@@ -278,7 +286,10 @@ impl<L: Launcher> WorkflowManager<L> {
         let raw = self.launcher.poll(now);
         for ev in &raw {
             // Each event belongs to exactly one tracker.
-            if let Some(t) = self.cg_setup.on_event(&mut self.launcher, ev, &mut self.rng) {
+            if let Some(t) = self
+                .cg_setup
+                .on_event(&mut self.launcher, ev, &mut self.rng)
+            {
                 match t {
                     Tracked::Done { payload } => {
                         self.cg_ready.push_back(payload.clone());
@@ -317,7 +328,10 @@ impl<L: Launcher> WorkflowManager<L> {
                 }
                 continue;
             }
-            if let Some(t) = self.aa_setup.on_event(&mut self.launcher, ev, &mut self.rng) {
+            if let Some(t) = self
+                .aa_setup
+                .on_event(&mut self.launcher, ev, &mut self.rng)
+            {
                 match t {
                     Tracked::Done { payload } => {
                         self.aa_ready.push_back(payload.clone());
@@ -366,34 +380,50 @@ impl<L: Launcher> WorkflowManager<L> {
 
         loop {
             let (running, pending) = self.cg_sim.counts(&self.launcher);
-            if running + pending >= cg_target || self.cg_ready.is_empty() {
+            if running + pending >= cg_target {
                 break;
             }
-            let sim_id = self.cg_ready.pop_front().expect("checked non-empty");
+            let Some(sim_id) = self.cg_ready.pop_front() else {
+                break;
+            };
             let at = self.throttle.reserve(now);
-            match self.runtime_model.as_mut().and_then(|m| m(JobClass::CgSim, &sim_id)) {
+            match self
+                .runtime_model
+                .as_mut()
+                .and_then(|m| m(JobClass::CgSim, &sim_id))
+            {
                 Some(rt) => {
-                    self.cg_sim.submit_with(&mut self.launcher, &sim_id, at, rt, &mut self.rng);
+                    self.cg_sim
+                        .submit_with(&mut self.launcher, &sim_id, at, rt, &mut self.rng);
                 }
                 None => {
-                    self.cg_sim.submit(&mut self.launcher, &sim_id, at, &mut self.rng);
+                    self.cg_sim
+                        .submit(&mut self.launcher, &sim_id, at, &mut self.rng);
                 }
             }
             let _ = events; // started events arrive via poll on placement
         }
         loop {
             let (running, pending) = self.aa_sim.counts(&self.launcher);
-            if running + pending >= aa_target || self.aa_ready.is_empty() {
+            if running + pending >= aa_target {
                 break;
             }
-            let sim_id = self.aa_ready.pop_front().expect("checked non-empty");
+            let Some(sim_id) = self.aa_ready.pop_front() else {
+                break;
+            };
             let at = self.throttle.reserve(now);
-            match self.runtime_model.as_mut().and_then(|m| m(JobClass::AaSim, &sim_id)) {
+            match self
+                .runtime_model
+                .as_mut()
+                .and_then(|m| m(JobClass::AaSim, &sim_id))
+            {
                 Some(rt) => {
-                    self.aa_sim.submit_with(&mut self.launcher, &sim_id, at, rt, &mut self.rng);
+                    self.aa_sim
+                        .submit_with(&mut self.launcher, &sim_id, at, rt, &mut self.rng);
                 }
                 None => {
-                    self.aa_sim.submit(&mut self.launcher, &sim_id, at, &mut self.rng);
+                    self.aa_sim
+                        .submit(&mut self.launcher, &sim_id, at, &mut self.rng);
                 }
             }
         }
@@ -439,7 +469,8 @@ impl<L: Launcher> WorkflowManager<L> {
             }
             self.stats.cg_selected += 1;
             let at = self.throttle.reserve(now);
-            self.cg_setup.submit(&mut self.launcher, &pick.id, at, &mut self.rng);
+            self.cg_setup
+                .submit(&mut self.launcher, &pick.id, at, &mut self.rng);
         }
         loop {
             let (running, pending) = self.aa_setup.counts(&self.launcher);
@@ -457,7 +488,8 @@ impl<L: Launcher> WorkflowManager<L> {
             }
             self.stats.aa_selected += 1;
             let at = self.throttle.reserve(now);
-            self.aa_setup.submit(&mut self.launcher, &pick.id, at, &mut self.rng);
+            self.aa_setup
+                .submit(&mut self.launcher, &pick.id, at, &mut self.rng);
         }
     }
 
@@ -595,8 +627,10 @@ impl WmCheckpoint {
             let (tag, rest) = line.split_once(' ')?;
             match tag {
                 "stats" => {
-                    let v: Vec<u64> =
-                        rest.split(' ').map(|x| x.parse().ok()).collect::<Option<_>>()?;
+                    let v: Vec<u64> = rest
+                        .split(' ')
+                        .map(|x| x.parse().ok())
+                        .collect::<Option<_>>()?;
                     if v.len() != 10 {
                         return None;
                     }
@@ -655,7 +689,10 @@ mod tests {
         WorkflowManager::new(
             cfg,
             launcher,
-            Box::new(FarthestPointSampler::new(FpsConfig { cap: 0 }, ExactNn::new())),
+            Box::new(FarthestPointSampler::new(
+                FpsConfig { cap: 0 },
+                ExactNn::new(),
+            )),
             Box::new(BinnedSampler::new(BinnedConfig::cg_frames())),
             2,
         )
@@ -665,7 +702,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let v = (offset + i) as f64;
-                HdPoint::new(format!("p{}", offset + i), vec![v * 0.31 % 7.0, v * 0.17 % 3.0])
+                HdPoint::new(
+                    format!("p{}", offset + i),
+                    vec![v * 0.31 % 7.0, v * 0.17 % 3.0],
+                )
             })
             .collect()
     }
@@ -711,8 +751,12 @@ mod tests {
         // GPU partition respected: at most 8 CG (70% of 12) at once.
         let (cg_run, _) = m.launcher().class_counts(JobClass::CgSim);
         assert!(cg_run <= 8, "CG target respected: {cg_run}");
-        assert!(events.iter().any(|e| matches!(e, WmEvent::CgSetupDone { .. })));
-        assert!(events.iter().any(|e| matches!(e, WmEvent::CgSimStarted { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WmEvent::CgSetupDone { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WmEvent::CgSimStarted { .. })));
     }
 
     #[test]
@@ -724,10 +768,7 @@ mod tests {
         m.add_patch_candidates(patch_points(100, 0));
         drive(&mut m, &mut store, 6);
         let stats = m.stats();
-        assert!(
-            stats.cg_sims_completed >= 3,
-            "turnover expected: {stats:?}"
-        );
+        assert!(stats.cg_sims_completed >= 3, "turnover expected: {stats:?}");
         assert!(stats.cg_sims_started > stats.cg_sims_completed.saturating_sub(1));
     }
 
@@ -742,7 +783,9 @@ mod tests {
             encoding: [0.2, 0.4, 0.6],
             rdfs: vec![vec![2.0; 10], vec![0.5; 10]],
         };
-        store.write(crate::ns::RDF_NEW, &frame.id, &frame.encode()).unwrap();
+        store
+            .write(crate::ns::RDF_NEW, &frame.id, &frame.encode())
+            .unwrap();
         let events = drive(&mut m, &mut store, 1);
         assert!(m.stats().feedback_iterations >= 2);
         assert!(events
@@ -777,12 +820,7 @@ mod tests {
         drive(&mut m, &mut store, 2);
         assert!(m.profiler().samples().len() >= 20);
         // Once warmed up, the GPU occupancy should be substantial.
-        let late: Vec<f64> = m
-            .profiler()
-            .gpu_series()
-            .into_iter()
-            .skip(12)
-            .collect();
+        let late: Vec<f64> = m.profiler().gpu_series().into_iter().skip(12).collect();
         let mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
         assert!(mean > 50.0, "late GPU occupancy should be high: {mean:.1}%");
         assert!(!m.cg_timeline().points().is_empty());
@@ -832,4 +870,3 @@ mod tests {
         assert_eq!(m.stats().cg_selected, 0);
     }
 }
-

@@ -39,12 +39,18 @@ pub struct Alloc {
 impl Alloc {
     /// Total GPUs held.
     pub fn gpus(&self) -> u64 {
-        self.slices.iter().map(|s| s.gpu_mask.count_ones() as u64).sum()
+        self.slices
+            .iter()
+            .map(|s| s.gpu_mask.count_ones() as u64)
+            .sum()
     }
 
     /// Total cores held.
     pub fn cores(&self) -> u64 {
-        self.slices.iter().map(|s| s.core_mask.count_ones() as u64).sum()
+        self.slices
+            .iter()
+            .map(|s| s.core_mask.count_ones() as u64)
+            .sum()
     }
 }
 
@@ -402,11 +408,16 @@ mod tests {
         let mut g = small(1);
         let mut allocs = Vec::new();
         for _ in 0..6 {
-            allocs.push(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap());
+            allocs.push(
+                g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+                    .unwrap(),
+            );
         }
         assert_eq!(g.gpu_usage(), (6, 6));
         // 7th sim does not fit (no GPUs).
-        assert!(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_none());
+        assert!(g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .is_none());
         // Each sim got 2 cores, packed near its GPU's socket.
         assert_eq!(g.cpu_usage().0, 12);
         for a in &allocs {
@@ -419,7 +430,9 @@ mod tests {
     #[test]
     fn near_gpu_cores_share_the_gpus_socket() {
         let mut g = small(1);
-        let a = g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        let a = g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .unwrap();
         let slice = a.slices[0];
         let gpu = slice.gpu_mask.trailing_zeros();
         let socket = NodeSpec::summit().socket_of_gpu(gpu);
@@ -434,7 +447,9 @@ mod tests {
     #[test]
     fn setup_jobs_leave_gpus_untouched() {
         let mut g = small(1);
-        let a = g.try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch).unwrap();
+        let a = g
+            .try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch)
+            .unwrap();
         assert_eq!(a.gpus(), 0);
         assert_eq!(a.cores(), 24);
         assert_eq!(g.gpu_usage().0, 0);
@@ -443,11 +458,12 @@ mod tests {
     #[test]
     fn multi_node_continuum_job() {
         let mut g = small(200);
-        let a = g.try_alloc(&JobShape::continuum(150), MatchPolicy::FirstMatch).unwrap();
+        let a = g
+            .try_alloc(&JobShape::continuum(150), MatchPolicy::FirstMatch)
+            .unwrap();
         assert_eq!(a.slices.len(), 150);
         assert_eq!(a.cores(), 3600);
-        let nodes: std::collections::HashSet<NodeId> =
-            a.slices.iter().map(|s| s.node).collect();
+        let nodes: std::collections::HashSet<NodeId> = a.slices.iter().map(|s| s.node).collect();
         assert_eq!(nodes.len(), 150, "slices must land on distinct nodes");
     }
 
@@ -455,16 +471,20 @@ mod tests {
     fn insufficient_resources_hold_nothing() {
         let mut g = small(2);
         let before = g.cpu_usage().0;
-        assert!(g.try_alloc(&JobShape::continuum(3), MatchPolicy::FirstMatch).is_none());
+        assert!(g
+            .try_alloc(&JobShape::continuum(3), MatchPolicy::FirstMatch)
+            .is_none());
         assert_eq!(g.cpu_usage().0, before, "failed alloc must not leak");
     }
 
     #[test]
     fn first_match_visits_fewer_nodes_than_exhaustive() {
         let mut g = small(1000);
-        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .unwrap();
         let fm = g.visited_last();
-        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive).unwrap();
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive)
+            .unwrap();
         let ex = g.visited_last();
         assert_eq!(fm, 1);
         assert_eq!(ex, 1000);
@@ -474,10 +494,14 @@ mod tests {
     fn drained_nodes_are_skipped() {
         let mut g = small(2);
         g.drain(0);
-        let a = g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        let a = g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .unwrap();
         assert_eq!(a.slices[0].node, 1);
         g.undrain(0);
-        let b = g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).unwrap();
+        let b = g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .unwrap();
         assert_eq!(b.slices[0].node, 0);
     }
 
@@ -487,7 +511,9 @@ mod tests {
         for n in 0..3 {
             g.drain(n);
         }
-        assert!(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_none());
+        assert!(g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .is_none());
         assert!(g.is_drained(2));
     }
 
@@ -498,7 +524,9 @@ mod tests {
             .try_alloc(&JobShape::sim_bundled(6, 5), MatchPolicy::FirstMatch)
             .unwrap();
         assert_eq!(a.gpus(), 6);
-        assert!(g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_none());
+        assert!(g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .is_none());
         g.release(&a);
     }
 
@@ -509,9 +537,14 @@ mod tests {
         // can still host 2-core sims — the paper's "reserving all GPUs for
         // simulations" placement.
         let mut g = small(1);
-        let setup = g.try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch).unwrap();
+        let setup = g
+            .try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch)
+            .unwrap();
         let mut sims = 0;
-        while g.try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch).is_some() {
+        while g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .is_some()
+        {
             sims += 1;
         }
         assert_eq!(sims, 6, "no GPU may be stranded by a setup job");
@@ -521,14 +554,14 @@ mod tests {
     #[test]
     fn pack_cores_takes_high_ids_balanced_across_sockets() {
         let mut g = small(1);
-        let a = g.try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch).unwrap();
+        let a = g
+            .try_alloc(&JobShape::setup(), MatchPolicy::FirstMatch)
+            .unwrap();
         let mask = a.slices[0].core_mask;
         let spec = NodeSpec::summit();
         for s in 0..2 {
             let r = spec.cores_on_socket(s);
-            let on_socket = (r.clone())
-                .filter(|&c| mask & (1u64 << c) != 0)
-                .count();
+            let on_socket = (r.clone()).filter(|&c| mask & (1u64 << c) != 0).count();
             assert_eq!(on_socket, 12, "12 cores per socket");
             // The lowest cores of each socket (near PCIe) stay free.
             assert_eq!(mask & (1u64 << r.start), 0);
@@ -547,8 +580,10 @@ mod tests {
     #[test]
     fn visited_total_accumulates() {
         let mut g = small(100);
-        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive).unwrap();
-        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive).unwrap();
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive)
+            .unwrap();
+        g.try_alloc(&JobShape::sim_standard(), MatchPolicy::LowIdExhaustive)
+            .unwrap();
         assert_eq!(g.visited_total(), 200);
         g.reset_visited();
         assert_eq!(g.visited_total(), 0);

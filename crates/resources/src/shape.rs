@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn standard_shapes() {
         let sim = JobShape::sim_standard();
-        assert_eq!((sim.nodes, sim.cores_per_node, sim.gpus_per_node), (1, 2, 1));
+        assert_eq!(
+            (sim.nodes, sim.cores_per_node, sim.gpus_per_node),
+            (1, 2, 1)
+        );
         assert_eq!(sim.affinity, Affinity::PackNearGpu);
 
         let setup = JobShape::setup();

@@ -95,7 +95,7 @@ proptest! {
             for s in &prefill {
                 let _ = g.try_alloc(s, MatchPolicy::FirstMatch);
             }
-            
+
             g.try_alloc(&probe, policy).is_some()
         };
         prop_assert_eq!(

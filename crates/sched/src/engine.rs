@@ -1,12 +1,12 @@
 //! The scheduling engine: queue manager (Q) + resource matcher (R).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use resources::{Alloc, MatchPolicy, ResourceGraph};
 use simcore::{SimDuration, SimTime};
 
-use crate::job::{JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState};
+use crate::job::{JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState, TrackedState};
 
 /// How Q and R communicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +73,7 @@ pub struct SchedStats {
 #[derive(Debug)]
 struct JobRecord {
     spec: JobSpec,
-    state: JobState,
+    state: TrackedState,
     alloc: Option<Alloc>,
 }
 
@@ -91,7 +91,10 @@ pub struct SchedEngine {
     coupling: Coupling,
     costs: Costs,
     next_id: u64,
-    jobs: HashMap<JobId, JobRecord>,
+    /// Ordered by id so every whole-table scan (e.g. finding a failed
+    /// node's victims) visits jobs in submission order — part of the
+    /// determinism contract (no HashMap iteration in coordination paths).
+    jobs: BTreeMap<JobId, JobRecord>,
     /// Submissions not yet ingested by Q: (submit time, id).
     inbox: VecDeque<(SimTime, JobId)>,
     /// Ingested jobs in FCFS order: (time the job entered the queue, id).
@@ -104,8 +107,8 @@ pub struct SchedEngine {
     r_free_at: SimTime,
     /// FCFS head failed to match; wait for a release before retrying.
     head_blocked: bool,
-    /// (running, pending) per class.
-    class_counts: HashMap<JobClass, (u64, u64)>,
+    /// (running, pending) per class, iterated in class order.
+    class_counts: BTreeMap<JobClass, (u64, u64)>,
     stats: SchedStats,
     /// Events produced outside `advance` (e.g. node failures), delivered
     /// on the next poll.
@@ -126,14 +129,14 @@ impl SchedEngine {
             coupling,
             costs,
             next_id: 0,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             inbox: VecDeque::new(),
             ready: VecDeque::new(),
             completions: BinaryHeap::new(),
             q_free_at: SimTime::ZERO,
             r_free_at: SimTime::ZERO,
             head_blocked: false,
-            class_counts: HashMap::new(),
+            class_counts: BTreeMap::new(),
             stats: SchedStats::default(),
             pending_events: Vec::new(),
         }
@@ -150,7 +153,7 @@ impl SchedEngine {
             .jobs
             .iter()
             .filter(|(_, rec)| {
-                rec.state == JobState::Running
+                rec.state.current() == JobState::Running
                     && rec
                         .alloc
                         .as_ref()
@@ -159,11 +162,13 @@ impl SchedEngine {
             .map(|(&id, _)| id)
             .collect();
         for &id in &victims {
-            let rec = self.jobs.get_mut(&id).expect("victim exists");
+            let Some(rec) = self.jobs.get_mut(&id) else {
+                continue;
+            };
             if let Some(alloc) = rec.alloc.take() {
                 self.graph.release(&alloc);
             }
-            rec.state = JobState::Failed;
+            rec.state.advance_to(JobState::Failed);
             let class = rec.spec.class;
             self.counts_mut(class).0 -= 1;
             self.stats.failed += 1;
@@ -207,7 +212,7 @@ impl SchedEngine {
 
     /// Current state of a job.
     pub fn state(&self, id: JobId) -> Option<JobState> {
-        self.jobs.get(&id).map(|j| j.state)
+        self.jobs.get(&id).map(|j| j.state.current())
     }
 
     /// The class a job was submitted with.
@@ -226,7 +231,7 @@ impl SchedEngine {
             id,
             JobRecord {
                 spec,
-                state: JobState::Submitted,
+                state: TrackedState::submitted(),
                 alloc: None,
             },
         );
@@ -239,10 +244,10 @@ impl SchedEngine {
     /// Cancels a job; running jobs release their resources immediately.
     /// Returns false if the job was already terminal or unknown.
     pub fn cancel(&mut self, id: JobId) -> bool {
-        let Some(rec) = self.jobs.get(&id) else {
+        let Some(state) = self.jobs.get(&id).map(|rec| rec.state.current()) else {
             return false;
         };
-        match rec.state {
+        match state {
             JobState::Submitted => {
                 self.inbox.retain(|&(_, j)| j != id);
             }
@@ -252,21 +257,22 @@ impl SchedEngine {
                 }
                 self.ready.retain(|&(_, j)| j != id);
             }
-            JobState::Running => {
-                let rec = self.jobs.get_mut(&id).expect("checked above");
-                if let Some(alloc) = rec.alloc.take() {
-                    self.graph.release(&alloc);
-                }
-                self.head_blocked = false;
-            }
+            JobState::Running => {}
             _ => return false,
         }
-        let rec = self.jobs.get_mut(&id).expect("checked above");
-        let was_running = rec.state == JobState::Running;
+        let Some(rec) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if state == JobState::Running {
+            if let Some(alloc) = rec.alloc.take() {
+                self.graph.release(&alloc);
+            }
+            self.head_blocked = false;
+        }
         let class = rec.spec.class;
-        rec.state = JobState::Canceled;
+        rec.state.advance_to(JobState::Canceled);
         let counts = self.counts_mut(class);
-        if was_running {
+        if state == JobState::Running {
             counts.0 -= 1;
         } else {
             counts.1 -= 1;
@@ -334,20 +340,24 @@ impl SchedEngine {
     }
 
     fn run_completion(&mut self, events: &mut Vec<JobEvent>) {
-        let Reverse((t, id)) = self.completions.pop().expect("peeked");
-        let rec = self.jobs.get_mut(&id).expect("scheduled job exists");
-        if rec.state != JobState::Running {
+        let Some(Reverse((t, id))) = self.completions.pop() else {
+            return;
+        };
+        let Some(rec) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if rec.state.current() != JobState::Running {
             return; // canceled while running; resources already released
         }
         if let Some(alloc) = rec.alloc.take() {
             self.graph.release(&alloc);
         }
         let success = rec.spec.outcome == JobOutcome::Success;
-        rec.state = if success {
+        rec.state.advance_to(if success {
             JobState::Completed
         } else {
             JobState::Failed
-        };
+        });
         let class = rec.spec.class;
         self.counts_mut(class).0 -= 1;
         if success {
@@ -357,26 +367,29 @@ impl SchedEngine {
         }
         // A release may unblock the FCFS head.
         self.head_blocked = false;
-        events.push(JobEvent::Finished {
-            id,
-            at: t,
-            success,
-        });
+        events.push(JobEvent::Finished { id, at: t, success });
     }
 
     fn run_service(&mut self, start: SimTime, action: Action, events: &mut Vec<JobEvent>) {
         match action {
             Action::Ingest => {
-                let (_, id) = self.inbox.pop_front().expect("ingest requires inbox");
+                let Some((_, id)) = self.inbox.pop_front() else {
+                    return;
+                };
                 let end = start + self.costs.submit;
                 self.q_free_at = end;
-                let rec = self.jobs.get_mut(&id).expect("submitted job exists");
-                rec.state = JobState::Queued;
-                self.ready.push_back((end, id));
+                if let Some(rec) = self.jobs.get_mut(&id) {
+                    rec.state.advance_to(JobState::Queued);
+                    self.ready.push_back((end, id));
+                }
             }
             Action::Match => {
-                let (_, id) = *self.ready.front().expect("match requires ready head");
-                let shape = self.jobs[&id].spec.shape;
+                let Some(&(_, id)) = self.ready.front() else {
+                    return;
+                };
+                let Some(shape) = self.jobs.get(&id).map(|rec| rec.spec.shape) else {
+                    return;
+                };
                 let placed = self.graph.try_alloc(&shape, self.policy);
                 let visited = self.graph.visited_last();
                 let cost = self.costs.per_node_visit * visited
@@ -393,9 +406,12 @@ impl SchedEngine {
                 match placed {
                     Some(alloc) => {
                         self.ready.pop_front();
-                        let rec = self.jobs.get_mut(&id).expect("queued job exists");
+                        let Some(rec) = self.jobs.get_mut(&id) else {
+                            self.graph.release(&alloc);
+                            return;
+                        };
                         rec.alloc = Some(alloc);
-                        rec.state = JobState::Running;
+                        rec.state.advance_to(JobState::Running);
                         let runtime = rec.spec.runtime;
                         let class = rec.spec.class;
                         let counts = self.counts_mut(class);
@@ -441,7 +457,12 @@ mod tests {
 
     #[test]
     fn submit_place_complete_lifecycle() {
-        let mut e = engine(2, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            2,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         let id = e.submit(sim_spec(100), SimTime::ZERO);
         assert_eq!(e.state(id), Some(JobState::Submitted));
         let ev = e.advance(SimTime::from_micros(1));
@@ -457,7 +478,12 @@ mod tests {
 
     #[test]
     fn failed_jobs_report_failure() {
-        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            1,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         let id = e.submit(sim_spec(10).failing(), SimTime::ZERO);
         e.advance(SimTime::from_micros(1));
         let ev = e.advance(SimTime::from_secs(11));
@@ -471,7 +497,12 @@ mod tests {
         // One node = 6 GPUs. Fill with 6 sims, then submit a 7th (blocks)
         // and an 8th behind it. No backfilling: neither runs until a
         // completion, then they run in order.
-        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            1,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         let mut first6 = Vec::new();
         for _ in 0..6 {
             first6.push(e.submit(sim_spec(1000), SimTime::ZERO));
@@ -491,7 +522,12 @@ mod tests {
 
     #[test]
     fn cancel_in_each_state() {
-        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            1,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         let a = e.submit(sim_spec(100), SimTime::ZERO);
         assert!(e.cancel(a)); // canceled while Submitted
         assert_eq!(e.state(a), Some(JobState::Canceled));
@@ -507,7 +543,12 @@ mod tests {
 
     #[test]
     fn canceled_running_job_does_not_double_release() {
-        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            1,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         let id = e.submit(sim_spec(5), SimTime::ZERO);
         e.advance(SimTime::from_micros(1));
         e.cancel(id);
@@ -565,7 +606,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, JobEvent::Placed { .. }))
             .count();
-        assert!(placed >= 2, "async R should place ingested jobs, got {placed}");
+        assert!(
+            placed >= 2,
+            "async R should place ingested jobs, got {placed}"
+        );
     }
 
     #[test]
@@ -576,7 +620,12 @@ mod tests {
             dispatch: SimDuration::ZERO,
         };
         // 1000 nodes: each exhaustive match costs 1s.
-        let mut ex = engine(1000, MatchPolicy::LowIdExhaustive, Coupling::Asynchronous, costs);
+        let mut ex = engine(
+            1000,
+            MatchPolicy::LowIdExhaustive,
+            Coupling::Asynchronous,
+            costs,
+        );
         let mut fm = engine(1000, MatchPolicy::FirstMatch, Coupling::Asynchronous, costs);
         for e in [&mut ex, &mut fm] {
             for _ in 0..10 {
@@ -601,10 +650,19 @@ mod tests {
 
     #[test]
     fn class_counts_track_mixed_workload() {
-        let mut e = engine(4, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            4,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         e.submit(sim_spec(100), SimTime::ZERO);
         e.submit(
-            JobSpec::new(JobClass::CgSetup, JobShape::setup(), SimDuration::from_secs(50)),
+            JobSpec::new(
+                JobClass::CgSetup,
+                JobShape::setup(),
+                SimDuration::from_secs(50),
+            ),
             SimTime::ZERO,
         );
         e.advance(SimTime::from_micros(1));
@@ -615,7 +673,12 @@ mod tests {
 
     #[test]
     fn advance_is_idempotent_at_same_time() {
-        let mut e = engine(1, MatchPolicy::FirstMatch, Coupling::Asynchronous, Costs::free());
+        let mut e = engine(
+            1,
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
         e.submit(sim_spec(100), SimTime::ZERO);
         let ev1 = e.advance(SimTime::from_secs(1));
         let ev2 = e.advance(SimTime::from_secs(1));
@@ -685,7 +748,11 @@ mod failure_tests {
         assert_eq!(e.state(a), Some(JobState::Failed));
         let b = e.submit(sim(), SimTime::from_secs(3));
         e.advance(SimTime::from_secs(4));
-        assert_eq!(e.state(b), Some(JobState::Queued), "drained node rejects work");
+        assert_eq!(
+            e.state(b),
+            Some(JobState::Queued),
+            "drained node rejects work"
+        );
         e.graph_mut().undrain(0);
         e.advance(SimTime::from_secs(5));
         assert_eq!(e.state(b), Some(JobState::Running));

@@ -15,7 +15,10 @@ impl std::fmt::Display for JobId {
 
 /// The workflow-level class of a job — MuMMI's four job types plus the
 /// continuum simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` so classes can key ordered maps: every per-class aggregation in
+/// the scheduler iterates deterministically (declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum JobClass {
     /// The macro-scale GridSim2D job (multi-node, CPU only).
     Continuum,
@@ -122,6 +125,71 @@ impl JobState {
             JobState::Completed | JobState::Failed | JobState::Canceled
         )
     }
+
+    /// Whether `self -> to` appears in [`ALLOWED_TRANSITIONS`].
+    pub fn can_transition_to(self, to: JobState) -> bool {
+        ALLOWED_TRANSITIONS.contains(&(self, to))
+    }
+}
+
+/// The complete job lifecycle state machine. Any state write the engine
+/// performs must be one of these edges; writes happen only through
+/// [`TrackedState::advance_to`], which enforces membership. The lint
+/// pass (`cargo run -p lint`) additionally rejects raw `.state =`
+/// assignments anywhere in this crate outside this module, so the table
+/// below is, by construction, exhaustive over the code.
+pub const ALLOWED_TRANSITIONS: &[(JobState, JobState)] = &[
+    (JobState::Submitted, JobState::Queued),
+    (JobState::Submitted, JobState::Canceled),
+    (JobState::Queued, JobState::Running),
+    (JobState::Queued, JobState::Canceled),
+    (JobState::Running, JobState::Completed),
+    (JobState::Running, JobState::Failed),
+    (JobState::Running, JobState::Canceled),
+];
+
+/// A job's lifecycle state, writable only along [`ALLOWED_TRANSITIONS`].
+///
+/// Jobs always begin [`JobState::Submitted`]; there is deliberately no
+/// way to construct an arbitrary state or assign one directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedState {
+    current: JobState,
+}
+
+impl TrackedState {
+    /// A freshly submitted job's state.
+    pub fn submitted() -> TrackedState {
+        TrackedState {
+            current: JobState::Submitted,
+        }
+    }
+
+    /// The current state.
+    pub fn current(self) -> JobState {
+        self.current
+    }
+
+    /// Moves to `to`, returning the previous state.
+    ///
+    /// # Panics
+    /// Panics if `current -> to` is not in [`ALLOWED_TRANSITIONS`]: an
+    /// illegal transition is a scheduler bug, never a recoverable input
+    /// condition.
+    pub fn advance_to(&mut self, to: JobState) -> JobState {
+        assert!(
+            self.current.can_transition_to(to),
+            "illegal job state transition {:?} -> {to:?}",
+            self.current
+        );
+        std::mem::replace(&mut self.current, to)
+    }
+}
+
+impl Default for TrackedState {
+    fn default() -> TrackedState {
+        TrackedState::submitted()
+    }
 }
 
 /// Lifecycle notifications returned by [`crate::SchedEngine::advance`].
@@ -159,6 +227,47 @@ mod tests {
         assert!(!JobState::Running.is_pending());
         assert!(JobState::Completed.is_terminal());
         assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn transition_table_is_the_full_lifecycle() {
+        // Non-terminal states can always move somewhere; terminal states
+        // can never move at all.
+        let all = [
+            JobState::Submitted,
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Canceled,
+        ];
+        for from in all {
+            let out_degree = all.iter().filter(|&&to| from.can_transition_to(to)).count();
+            if from.is_terminal() {
+                assert_eq!(out_degree, 0, "{from:?} must be terminal");
+            } else {
+                assert!(out_degree > 0, "{from:?} must not be a dead end");
+                // Every live state can be canceled.
+                assert!(from.can_transition_to(JobState::Canceled));
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_state_walks_legal_path() {
+        let mut s = TrackedState::submitted();
+        assert_eq!(s.current(), JobState::Submitted);
+        assert_eq!(s.advance_to(JobState::Queued), JobState::Submitted);
+        assert_eq!(s.advance_to(JobState::Running), JobState::Queued);
+        assert_eq!(s.advance_to(JobState::Completed), JobState::Running);
+        assert!(s.current().is_terminal());
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal job state transition")]
+    fn tracked_state_rejects_illegal_edge() {
+        let mut s = TrackedState::submitted();
+        s.advance_to(JobState::Completed); // must pass through Queued/Running
     }
 
     #[test]

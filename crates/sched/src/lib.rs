@@ -50,7 +50,9 @@ mod replay;
 mod throttle;
 
 pub use engine::{Costs, Coupling, SchedEngine, SchedStats};
-pub use job::{JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState};
+pub use job::{
+    JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState, TrackedState, ALLOWED_TRANSITIONS,
+};
 pub use launcher::Launcher;
 pub use replay::{SchedEvent, SchedLog};
 pub use throttle::Throttle;

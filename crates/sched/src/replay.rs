@@ -219,7 +219,11 @@ mod tests {
             log.record_submit(
                 SimTime::from_secs(i * 30),
                 &JobSpec::new(
-                    if i % 3 == 0 { JobClass::AaSim } else { JobClass::CgSim },
+                    if i % 3 == 0 {
+                        JobClass::AaSim
+                    } else {
+                        JobClass::CgSim
+                    },
                     JobShape::sim_standard(),
                     SimDuration::from_mins(10 + i),
                 ),
@@ -229,8 +233,12 @@ mod tests {
         log.record_fail_node(SimTime::from_mins(15), 1);
         log.record_submit(
             SimTime::from_mins(16),
-            &JobSpec::new(JobClass::CgSetup, JobShape::setup(), SimDuration::from_mins(5))
-                .failing(),
+            &JobSpec::new(
+                JobClass::CgSetup,
+                JobShape::setup(),
+                SimDuration::from_mins(5),
+            )
+            .failing(),
         );
         log
     }

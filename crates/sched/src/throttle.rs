@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn slots_within_counts_capacity() {
         let t = Throttle::per_minute(60); // one per second
-        assert_eq!(t.slots_within(SimTime::ZERO, SimDuration::from_secs(10)), 10);
+        assert_eq!(
+            t.slots_within(SimTime::ZERO, SimDuration::from_secs(10)),
+            10
+        );
         assert_eq!(t.slots_within(SimTime::ZERO, SimDuration::ZERO), 0);
     }
 

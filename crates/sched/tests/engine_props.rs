@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use resources::{JobShape, MachineSpec, MatchPolicy, NodeSpec, ResourceGraph};
-use sched::{Costs, Coupling, JobClass, JobEvent, JobSpec, SchedEngine, JobState};
+use sched::{Costs, Coupling, JobClass, JobEvent, JobSpec, JobState, SchedEngine};
 use simcore::{SimDuration, SimTime};
 
 #[derive(Debug, Clone)]
@@ -15,8 +15,10 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u64..120, any::<bool>())
-            .prop_map(|(runtime_mins, failing)| Op::Submit { runtime_mins, failing }),
+        (1u64..120, any::<bool>()).prop_map(|(runtime_mins, failing)| Op::Submit {
+            runtime_mins,
+            failing
+        }),
         (0usize..64).prop_map(|idx| Op::Cancel { idx }),
         (1u64..240).prop_map(|mins| Op::Advance { mins }),
         (0u32..3).prop_map(|node| Op::FailNode { node }),

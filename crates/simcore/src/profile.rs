@@ -114,7 +114,11 @@ impl OccupancyProfiler {
     /// occupancy bin) for the GPU or CPU series.
     pub fn histogram(&self, cpu: bool, bins: usize) -> Histogram {
         let mut h = Histogram::new(0.0, 100.0 + 1e-9, bins);
-        let series = if cpu { self.cpu_series() } else { self.gpu_series() };
+        let series = if cpu {
+            self.cpu_series()
+        } else {
+            self.gpu_series()
+        };
         h.add_all(&series);
         h
     }

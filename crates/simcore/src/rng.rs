@@ -98,8 +98,16 @@ mod tests {
     #[test]
     fn rng_streams_are_reproducible() {
         let s = SeedStream::new(42);
-        let a: Vec<u32> = s.rng("m").sample_iter(rand::distributions::Standard).take(5).collect();
-        let b: Vec<u32> = s.rng("m").sample_iter(rand::distributions::Standard).take(5).collect();
+        let a: Vec<u32> = s
+            .rng("m")
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
+        let b: Vec<u32> = s
+            .rng("m")
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(a, b);
     }
 

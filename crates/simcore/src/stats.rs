@@ -160,7 +160,12 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let bar = "#".repeat((c as usize * width) / max as usize);
-            out.push_str(&format!("{:>10.3} | {:<8} {}\n", self.bin_center(i), c, bar));
+            out.push_str(&format!(
+                "{:>10.3} | {:<8} {}\n",
+                self.bin_center(i),
+                c,
+                bar
+            ));
         }
         out
     }

@@ -3,7 +3,6 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::header::{TarHeader, BLOCK_SIZE};
 use crate::index::{Index, IndexEntry};
@@ -23,6 +22,10 @@ pub struct IndexedTar {
     /// Byte offset where the next member header will be written (i.e. where
     /// the end-of-archive terminator currently starts).
     end: u64,
+    /// Seconds-since-epoch stamped into member headers, injected via
+    /// [`IndexedTar::set_mtime`]. Never the host wall clock: identical
+    /// campaign runs must produce byte-identical archives.
+    mtime: u64,
 }
 
 impl IndexedTar {
@@ -42,6 +45,7 @@ impl IndexedTar {
             path,
             index: Index::new(),
             end: 0,
+            mtime: 0,
         })
     }
 
@@ -55,6 +59,7 @@ impl IndexedTar {
             path,
             index: Index::new(),
             end: 0,
+            mtime: 0,
         };
         let idx_path = tar.index_path();
         match Index::load(&idx_path) {
@@ -109,14 +114,23 @@ impl IndexedTar {
         self.index.appended()
     }
 
+    /// Sets the modification time (seconds since the Unix epoch) stamped
+    /// into the headers of subsequently appended members. Callers inject
+    /// their own clock — typically the campaign's virtual `SimTime` — so
+    /// archive bytes are a pure function of the data written.
+    pub fn set_mtime(&mut self, secs_since_epoch: u64) {
+        self.mtime = secs_since_epoch;
+    }
+
+    /// The mtime currently stamped into new members.
+    pub fn mtime(&self) -> u64 {
+        self.mtime
+    }
+
     /// Appends a member. If `key` already exists the new copy supersedes the
     /// old one in the index (the old payload stays in the file, unreferenced).
     pub fn append(&mut self, key: &str, data: &[u8]) -> Result<()> {
-        let mtime = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0);
-        let header = TarHeader::encode(key, data.len() as u64, mtime)?;
+        let header = TarHeader::encode(key, data.len() as u64, self.mtime)?;
         let data_offset = self.end + BLOCK_SIZE as u64;
         let padded = TarHeader::data_blocks(data.len() as u64) * BLOCK_SIZE as u64;
 
@@ -224,6 +238,7 @@ impl IndexedTar {
         keys.sort(); // deterministic layout
         {
             let mut fresh = IndexedTar::create(&repack_path)?;
+            fresh.set_mtime(self.mtime);
             for key in &keys {
                 let data = self.read(key)?;
                 fresh.append(key, &data)?;
@@ -399,7 +414,8 @@ mod tests {
         let mut tar = IndexedTar::create(&p).unwrap();
         // Lots of superseded versions plus a removed key.
         for round in 0..10 {
-            tar.append("hot", format!("version-{round}").as_bytes()).unwrap();
+            tar.append("hot", format!("version-{round}").as_bytes())
+                .unwrap();
         }
         tar.append("cold", &vec![3u8; 4000]).unwrap();
         tar.append("dead", &vec![4u8; 8000]).unwrap();
@@ -436,6 +452,24 @@ mod tests {
         for i in 0..5 {
             assert_eq!(tar.read(&format!("k{i}")).unwrap(), vec![i as u8; 100]);
         }
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn identical_writes_produce_identical_bytes() {
+        // Archive bytes are a pure function of (keys, payloads, injected
+        // mtime) — no wall clock leaks into the format.
+        let dir = tmpdir("det");
+        let write = |name: &str| -> Vec<u8> {
+            let p = dir.join(name);
+            let mut tar = IndexedTar::create(&p).unwrap();
+            tar.set_mtime(1_600_000_000);
+            tar.append("a", b"alpha").unwrap();
+            tar.append("b", &vec![9u8; 1000]).unwrap();
+            tar.flush().unwrap();
+            fs::read(&p).unwrap()
+        };
+        assert_eq!(write("one.tar"), write("two.tar"));
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -39,7 +39,7 @@ impl TarHeader {
         block[156] = b'0'; // typeflag: regular file
         block[257..263].copy_from_slice(MAGIC);
         block[263..265].copy_from_slice(b"00"); // version
-        // uname/gname left empty; dev major/minor zeroed octal.
+                                                // uname/gname left empty; dev major/minor zeroed octal.
         write_octal(&mut block[329..337], 0);
         write_octal(&mut block[337..345], 0);
         // Checksum: computed with the checksum field set to spaces.

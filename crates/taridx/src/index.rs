@@ -147,7 +147,13 @@ mod tests {
     #[test]
     fn insert_get_remove() {
         let mut idx = Index::new();
-        idx.insert("a", IndexEntry { offset: 512, size: 10 });
+        idx.insert(
+            "a",
+            IndexEntry {
+                offset: 512,
+                size: 10,
+            },
+        );
         assert!(idx.contains("a"));
         assert_eq!(idx.get("a").unwrap().size, 10);
         assert!(idx.remove("a").is_some());
@@ -158,8 +164,20 @@ mod tests {
     #[test]
     fn reinsert_last_wins() {
         let mut idx = Index::new();
-        idx.insert("k", IndexEntry { offset: 512, size: 5 });
-        idx.insert("k", IndexEntry { offset: 2048, size: 7 });
+        idx.insert(
+            "k",
+            IndexEntry {
+                offset: 512,
+                size: 5,
+            },
+        );
+        idx.insert(
+            "k",
+            IndexEntry {
+                offset: 2048,
+                size: 7,
+            },
+        );
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.get("k").unwrap().offset, 2048);
         assert_eq!(idx.appended(), 2);
@@ -168,9 +186,27 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let mut idx = Index::new();
-        idx.insert("alpha", IndexEntry { offset: 512, size: 100 });
-        idx.insert("beta/with/slashes", IndexEntry { offset: 1536, size: 200 });
-        idx.insert("alpha", IndexEntry { offset: 4096, size: 50 });
+        idx.insert(
+            "alpha",
+            IndexEntry {
+                offset: 512,
+                size: 100,
+            },
+        );
+        idx.insert(
+            "beta/with/slashes",
+            IndexEntry {
+                offset: 1536,
+                size: 200,
+            },
+        );
+        idx.insert(
+            "alpha",
+            IndexEntry {
+                offset: 4096,
+                size: 50,
+            },
+        );
         let p = tmpfile("roundtrip.idx");
         idx.save(&p).unwrap();
         let loaded = Index::load(&p).unwrap();
@@ -183,8 +219,20 @@ mod tests {
     #[test]
     fn removed_keys_stay_removed_after_save() {
         let mut idx = Index::new();
-        idx.insert("gone", IndexEntry { offset: 512, size: 1 });
-        idx.insert("kept", IndexEntry { offset: 1024, size: 2 });
+        idx.insert(
+            "gone",
+            IndexEntry {
+                offset: 512,
+                size: 1,
+            },
+        );
+        idx.insert(
+            "kept",
+            IndexEntry {
+                offset: 1024,
+                size: 2,
+            },
+        );
         idx.remove("gone");
         let p = tmpfile("removed.idx");
         idx.save(&p).unwrap();

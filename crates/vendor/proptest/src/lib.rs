@@ -1,0 +1,671 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! the workspace's property tests use, with fully deterministic case
+//! generation: every test derives its RNG seed from its own path, so a
+//! failure reproduces by simply re-running the test. There is no
+//! shrinking — failures report the generated inputs instead, which the
+//! deterministic replay makes just as actionable for these test sizes.
+
+pub mod test_runner {
+    //! Test configuration, errors, and the deterministic case RNG.
+
+    pub use rand::rngs::StdRng as TestRng;
+
+    // Used by the `proptest!` expansion via `$crate`, so consumer crates
+    // need no direct `rand` dependency.
+    #[doc(hidden)]
+    pub use rand::SeedableRng as __SeedableRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given explanation.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// The result type property bodies produce.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Stable seed for a test path (FNV-1a), so case streams never depend
+    /// on link order or parallel test scheduling.
+    pub fn seed_for_path(path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in path.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: std::rc::Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        gen: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Uniform choice among alternative strategies (`prop_oneof!`).
+    #[derive(Debug, Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        ///
+        /// # Panics
+        /// Panics when `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    /// String strategies from a small regex subset: sequences of literal
+    /// characters and `[...]` classes (with ranges), each optionally
+    /// quantified by `{m}`, `{m,n}`, `?`, `*`, or `+`. This covers the
+    /// character-class patterns the workspace's tests draw keys from.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self)
+                .unwrap_or_else(|e| panic!("unsupported regex {self:?}: {e}"));
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    type Atom = (Vec<char>, usize, usize);
+
+    fn parse_pattern(pattern: &str) -> Result<Vec<Atom>, &'static str> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or("unterminated [")?
+                        + i;
+                    let class = expand_class(&chars[i + 1..close])?;
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).ok_or("dangling escape")?;
+                    i += 1;
+                    vec![c]
+                }
+                c if !"{}*+?]".contains(c) => {
+                    i += 1;
+                    vec![c]
+                }
+                _ => return Err("unsupported construct"),
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or("unterminated {")?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().map_err(|_| "bad repeat count")?,
+                            hi.trim().parse().map_err(|_| "bad repeat count")?,
+                        ),
+                        None => {
+                            let n = body.trim().parse().map_err(|_| "bad repeat count")?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if lo > hi {
+                return Err("empty repeat range");
+            }
+            atoms.push((alphabet, lo, hi));
+        }
+        Ok(atoms)
+    }
+
+    fn expand_class(body: &[char]) -> Result<Vec<char>, &'static str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (a, b) = (body[i] as u32, body[i + 2] as u32);
+                if a > b {
+                    return Err("inverted class range");
+                }
+                for c in a..=b {
+                    out.push(char::from_u32(c).ok_or("bad class range")?);
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        if out.is_empty() {
+            return Err("empty class");
+        }
+        Ok(out)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::distributions::{Distribution, Standard};
+
+    /// Marker for types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    Standard.sample(rng)
+                }
+            }
+        )*};
+    }
+    arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// The canonical strategy of an [`Arbitrary`] type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<A> {
+        _marker: std::marker::PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over all values of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Inclusive-exclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Module alias so `prop::collection::vec(...)` works from the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The conventional prelude.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests (see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    // Without: default config.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __seed = $crate::test_runner::seed_for_path(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __rng: $crate::test_runner::TestRng =
+                <$crate::test_runner::TestRng as $crate::test_runner::__SeedableRng>::seed_from_u64(
+                    __seed,
+                );
+            for __case in 0..__config.cases {
+                let mut __case_desc = ::std::string::String::new();
+                $(
+                    let __value =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    __case_desc.push_str(&::std::format!(
+                        "\n  {} = {:?}",
+                        stringify!($pat),
+                        &__value
+                    ));
+                    let $pat = __value;
+                )+
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}: {}\ninputs:{}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        __e,
+                        __case_desc
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A(u64),
+        B(bool),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3u64..10, (a, b) in (0usize..4, -1.0f64..1.0)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn strings_match_their_class(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vectors_respect_bounds(v in prop::collection::vec(any::<u8>(), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_and_map_cover_both_arms(
+            p in prop_oneof![
+                (1u64..5).prop_map(Pick::A),
+                any::<bool>().prop_map(Pick::B),
+            ]
+        ) {
+            match p {
+                Pick::A(n) => prop_assert!((1..5).contains(&n)),
+                Pick::B(_) => prop_assert!(true),
+            }
+        }
+
+        #[test]
+        fn just_yields_the_value(v in Just(41)) {
+            prop_assert_eq!(v + 1, 42);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_path() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let seed = crate::test_runner::seed_for_path("some::test");
+        let mut a = crate::test_runner::TestRng::seed_from_u64(seed);
+        let mut b = crate::test_runner::TestRng::seed_from_u64(seed);
+        let s = crate::collection::vec(0u64..100, 5..20);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u64..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("failed at case 0"), "{msg}");
+        assert!(msg.contains("inputs:"), "{msg}");
+    }
+}

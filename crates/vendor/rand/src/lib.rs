@@ -1,0 +1,474 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments with no access to crates.io, so
+//! this crate vendors the *deterministic* subset of the rand 0.8 API that
+//! MuMMI actually uses: seedable generators, range/bool sampling,
+//! distribution plumbing, and slice shuffling. There is deliberately no
+//! `thread_rng` and no `random()` — the workspace determinism contract
+//! (see `mummi-lint` rule L2) forbids unseeded randomness, so the entry
+//! points simply do not exist here.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through a
+//! splitmix64 expansion: fast, well-distributed, and stable across
+//! platforms and releases, which is exactly what replayable campaigns
+//! need. Streams are *not* bit-compatible with upstream `rand`; they are
+//! bit-stable for this workspace, which is the property the tests pin.
+
+/// Core random-number generation: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (the only constructor the
+    /// workspace uses; everything flows through `simcore::rng::SeedStream`).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of any [`distributions::Standard`]-supported type.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples one value from `distr`.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Converts the generator into an iterator of samples from `distr`.
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::DistIter {
+            distr,
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits onto `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with splitmix64
+    /// seeding. Deterministic, portable, clonable.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state would trap xoshiro at zero forever.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions and uniform-range sampling.
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<'a, T, D: Distribution<T> + ?Sized> Distribution<T> for &'a D {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// The "natural" distribution of a type: uniform over all values for
+    /// integers, `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Iterator over samples from a distribution (see [`crate::Rng::sample_iter`]).
+    #[derive(Debug)]
+    pub struct DistIter<D, R, T> {
+        pub(crate) distr: D,
+        pub(crate) rng: R,
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<D, R, T> Iterator for DistIter<D, R, T>
+    where
+        D: Distribution<T>,
+        R: RngCore,
+    {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+
+    /// Uniform-range sampling support for [`crate::Rng::gen_range`].
+    pub mod uniform {
+        use super::super::{unit_f64, RngCore};
+
+        /// A type with uniform sampling over `[lo, hi)` / `[lo, hi]`.
+        ///
+        /// The blanket [`SampleRange`] impls below are over `T:
+        /// SampleUniform` (mirroring upstream) so that type inference can
+        /// unify `T` with the range's element type immediately — per-type
+        /// range impls would leave float literals ambiguous.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Uniform sample in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        /// A range that can produce one uniform sample.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample from the range.
+            ///
+            /// # Panics
+            /// Panics on an empty range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_uniform(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                T::sample_uniform(rng, lo, hi, true)
+            }
+        }
+
+        /// Multiply-shift bounded sampling (Lemire, without the rejection
+        /// step: the bias at simulation span sizes is < 2^-40 and the
+        /// sequence stays deterministic, which is what matters here).
+        #[inline]
+        fn bounded(word: u64, span: u64) -> u64 {
+            ((word as u128 * span as u128) >> 64) as u64
+        }
+
+        macro_rules! uniform_uint {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span = ((hi - lo) as u64).wrapping_add(inclusive as u64);
+                        if span == 0 {
+                            // Full-width inclusive range.
+                            return rng.next_u64() as $t;
+                        }
+                        lo + bounded(rng.next_u64(), span) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span = ((hi as i128 - lo as i128) as u64)
+                            .wrapping_add(inclusive as u64);
+                        if span == 0 {
+                            // Full-width inclusive range.
+                            return rng.next_u64() as $t;
+                        }
+                        (lo as i128 + bounded(rng.next_u64(), span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        _inclusive: bool,
+                    ) -> Self {
+                        lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f32, f64);
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Picks one element uniformly, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// The conventional prelude.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_dependent() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let k = r.gen_range(0usize..=4);
+            assert!(k <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes");
+    }
+
+    #[test]
+    fn sample_iter_streams_standard() {
+        let r = StdRng::seed_from_u64(5);
+        let v: Vec<u32> = r.sample_iter(crate::distributions::Standard).take(5).collect();
+        assert_eq!(v.len(), 5);
+        let r = StdRng::seed_from_u64(5);
+        let w: Vec<u32> = r.sample_iter(crate::distributions::Standard).take(5).collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

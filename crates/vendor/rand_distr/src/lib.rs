@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_distr`: the Normal and LogNormal
+//! distributions used by the MuMMI performance models, implemented with a
+//! Box–Muller transform over the vendored deterministic [`rand`].
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error from constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation (or shape) was negative or non-finite.
+    BadVariance,
+    /// The mean (or location) was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is invalid"),
+            NormalError::MeanTooSmall => write!(f, "mean is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Maps 64 random bits onto `(0, 1]` — open at zero so `ln` is finite.
+#[inline]
+fn unit_open_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard-normal draw (Box–Muller, using one of the pair).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open_f64(rng);
+    let u2 = unit_open_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with location `mu` and shape
+    /// `sigma` (of the underlying normal).
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+        assert!(Normal::new(3.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median = samples[50_000];
+        assert!((median - 1.0f64.exp()).abs() < 0.05, "median {median}");
+        assert!(samples.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let d = Normal::new(7.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(d.sample(&mut rng), 7.0);
+    }
+}

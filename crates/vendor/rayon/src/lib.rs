@@ -1,0 +1,127 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the `par_iter`/`par_iter_mut`/`into_par_iter`/`par_chunks_mut`
+//! entry points the workspace uses, backed by plain sequential `std`
+//! iterators. Call sites keep their data-parallel shape (no borrows across
+//! items, chunked writes), so swapping the real rayon back in is a
+//! one-line `Cargo.toml` change — and sequential execution is itself a
+//! feature for this repo: identical results on every machine, with no
+//! thread-pool scheduling in the determinism audit surface.
+
+/// Sequential `into_par_iter` for anything iterable (ranges, vectors).
+pub trait IntoParallelIterator {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential `par_iter` over shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: 'data;
+    /// Borrowing (sequential) "parallel" iteration.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+    type Item = <&'data I as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential `par_iter_mut` over exclusive references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (an exclusive reference).
+    type Item: 'data;
+    /// Mutating (sequential) "parallel" iteration.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+{
+    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+    type Item = <&'data mut I as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential chunked mutation over slices.
+pub trait ParallelSliceMut<T> {
+    /// Chunked (sequential) "parallel" mutation; chunk size `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Runs the two closures (sequentially) and returns both results —
+/// signature-compatible with `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The conventional prelude.
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_surface_behaves_like_std() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(w, vec![11, 12, 13]);
+
+        let squares: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+
+        let mut data = vec![0u32; 6];
+        data.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i as u32));
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!((a, b.as_str()), (2, "xy"));
+    }
+}

@@ -39,7 +39,10 @@ fn main() {
         for wi in 0..20 {
             let gamma = 0.05 + gi as f64 * 0.05;
             let omega = 0.5 + wi as f64 * 0.25;
-            raw.push((format!("osc-g{gi}-w{wi}"), oscillator_features(gamma, omega)));
+            raw.push((
+                format!("osc-g{gi}-w{wi}"),
+                oscillator_features(gamma, omega),
+            ));
         }
     }
 
@@ -55,12 +58,16 @@ fn main() {
     );
 
     // Application part 3: a single farthest-point queue as the selector.
-    let selector: Box<dyn Sampler + Send> =
-        Box::new(FarthestPointSampler::new(FpsConfig { cap: 0 }, KdTreeNn::new()));
+    let selector: Box<dyn Sampler + Send> = Box::new(FarthestPointSampler::new(
+        FpsConfig { cap: 0 },
+        KdTreeNn::new(),
+    ));
     // The "fine scale" selector is unused by this two-scale study; a
     // second empty queue satisfies the interface.
-    let fine_selector: Box<dyn Sampler + Send> =
-        Box::new(FarthestPointSampler::new(FpsConfig { cap: 0 }, KdTreeNn::new()));
+    let fine_selector: Box<dyn Sampler + Send> = Box::new(FarthestPointSampler::new(
+        FpsConfig { cap: 0 },
+        KdTreeNn::new(),
+    ));
 
     // The *same* coordination layer, configured for the new study.
     let launcher = SchedEngine::new(
@@ -100,5 +107,7 @@ fn main() {
     println!("  simulations finished: {}", stats.cg_sims_completed);
     assert!(stats.cg_sims_started > 0);
     std::fs::remove_dir_all(&dir).ok();
-    println!("\nsame WorkflowManager, scheduler, and data interfaces — zero coordination-code changes");
+    println!(
+        "\nsame WorkflowManager, scheduler, and data interfaces — zero coordination-code changes"
+    );
 }

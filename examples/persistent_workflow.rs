@@ -22,11 +22,13 @@ fn main() {
     let mut workflow = PersistentCampaign::new(cfg);
 
     // The offer stream: whatever the centers make available.
-    let offers = [AllocationOffer::summit(100, 6),
+    let offers = [
+        AllocationOffer::summit(100, 6),
         AllocationOffer::lassen(150, 12),
         AllocationOffer::summit(500, 12),
         AllocationOffer::lassen(64, 6),
-        AllocationOffer::summit(1000, 24)];
+        AllocationOffer::summit(1000, 24),
+    ];
 
     println!("hop  cluster  nodes  hours  placed  crashed  meanGPU%  load");
     for (i, offer) in offers.iter().enumerate() {

@@ -14,7 +14,10 @@ fn main() {
     // 1. A coarse-grained membrane patch with an embedded protein.
     let mut membrane = build_membrane(&MembraneConfig::small());
     let (e0, e1) = membrane.relax(100);
-    println!("built membrane: {} beads, relaxation {e0:.1} -> {e1:.1}", membrane.sys.len());
+    println!(
+        "built membrane: {} beads, relaxation {e0:.1} -> {e1:.1}",
+        membrane.sys.len()
+    );
 
     // 2. Simulate and analyze frames online, like MuMMI's per-sim analysis.
     let mut sampler = FarthestPointSampler::new(FpsConfig::default(), ExactNn::new());

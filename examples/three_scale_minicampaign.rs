@@ -86,7 +86,11 @@ fn main() {
             .expect("patch creation");
         let mut points = Vec::with_capacity(candidates.len());
         for (point, patch) in candidates {
-            points.push(app3::state_tagged_point(&point.id, patch.state, point.coords));
+            points.push(app3::state_tagged_point(
+                &point.id,
+                patch.state,
+                point.coords,
+            ));
             patches.insert(patch.id.clone(), patch);
         }
         wm.add_patch_candidates(points);
@@ -118,10 +122,7 @@ fn main() {
                             .write(ns::RDF_NEW, &frame.id, &frame.encode())
                             .expect("frame write");
                         frame_counter += 1;
-                        frame_points.push(HdPoint::new(
-                            frame.id.clone(),
-                            frame.encoding.to_vec(),
-                        ));
+                        frame_points.push(HdPoint::new(frame.id.clone(), frame.encoding.to_vec()));
                     }
                     wm.add_frame_candidates(frame_points);
                 }
@@ -168,7 +169,10 @@ fn main() {
 
     // ---- summary ----------------------------------------------------------
     let stats = wm.stats();
-    println!("three-scale mini-campaign over {:.1} virtual hours:", end.as_hours_f64());
+    println!(
+        "three-scale mini-campaign over {:.1} virtual hours:",
+        end.as_hours_f64()
+    );
     println!("  snapshots processed : {}", patch_creator.snapshots());
     println!("  patches created     : {}", patch_creator.created());
     println!("  patches selected    : {}", stats.cg_selected);

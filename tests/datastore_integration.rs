@@ -22,14 +22,20 @@ fn backends(tag: &str) -> Vec<Box<dyn DataStore>> {
 fn run_script(store: &mut dyn DataStore) -> (usize, usize, Vec<u8>, bool) {
     for i in 0..20 {
         store
-            .write("rdf-new", &format!("f{i}"), format!("payload-{i}").as_bytes())
+            .write(
+                "rdf-new",
+                &format!("f{i}"),
+                format!("payload-{i}").as_bytes(),
+            )
             .expect("write");
     }
     // Overwrite one, delete one, move half to the processed namespace.
     store.write("rdf-new", "f3", b"updated").expect("overwrite");
     store.delete("rdf-new", "f19").expect("delete");
     for i in 0..10 {
-        store.move_ns(&format!("f{i}"), "rdf-new", "rdf-done").expect("move");
+        store
+            .move_ns(&format!("f{i}"), "rdf-new", "rdf-done")
+            .expect("move");
     }
     store.flush().expect("flush");
     let live = store.count("rdf-new").expect("count");
@@ -65,7 +71,9 @@ fn frames_decode_identically_from_every_backend() {
         rdfs: vec![vec![1.0, 2.0, 3.0], vec![0.5; 8]],
     };
     for mut store in backends("frames") {
-        store.write("frames", &frame.id, &frame.encode()).expect("write");
+        store
+            .write("frames", &frame.id, &frame.encode())
+            .expect("write");
         store.flush().expect("flush");
         let bytes = store.read("frames", &frame.id).expect("read");
         let back = CgFrame::decode(&frame.id, &bytes).expect("decode");
@@ -92,7 +100,11 @@ fn backend_kinds_are_reported() {
     let kinds: Vec<BackendKind> = backends("kinds").iter().map(|s| s.kind()).collect();
     assert_eq!(
         kinds,
-        vec![BackendKind::Redis, BackendKind::Filesystem, BackendKind::Taridx]
+        vec![
+            BackendKind::Redis,
+            BackendKind::Filesystem,
+            BackendKind::Taridx
+        ]
     );
 }
 

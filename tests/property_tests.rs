@@ -23,10 +23,13 @@ proptest! {
             1..25
         )
     ) {
+        // Unique per process and per case without ambient randomness
+        // (the determinism contract bans unseeded RNG workspace-wide).
+        static CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "taridx-prop-{}-{:x}",
             std::process::id(),
-            rand::random::<u64>()
+            CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("p.tar");

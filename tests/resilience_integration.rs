@@ -4,7 +4,9 @@
 use mummi::core::{ns, CgToContinuumFeedback, FeedbackManager, WmCheckpoint, WmConfig, WmEvent};
 use mummi::datastore::faults::Op;
 use mummi::datastore::{DataStore, FailingStore, KvDataStore};
-use mummi::dynim::{BinnedConfig, BinnedSampler, ExactNn, FarthestPointSampler, FpsConfig, HdPoint};
+use mummi::dynim::{
+    BinnedConfig, BinnedSampler, ExactNn, FarthestPointSampler, FpsConfig, HdPoint,
+};
 use mummi::resources::{JobShape, MachineSpec, MatchPolicy, NodeSpec, ResourceGraph};
 use mummi::sched::{Costs, Coupling, JobClass, JobEvent, JobSpec, Launcher, SchedEngine};
 use mummi::simcore::{SimDuration, SimTime};
@@ -106,7 +108,10 @@ fn wm_survives_checkpoint_restart_mid_campaign() {
         mummi::core::WorkflowManager::new(
             WmConfig::test_scale(),
             launcher,
-            Box::new(FarthestPointSampler::new(FpsConfig { cap: 0 }, ExactNn::new())),
+            Box::new(FarthestPointSampler::new(
+                FpsConfig { cap: 0 },
+                ExactNn::new(),
+            )),
             Box::new(BinnedSampler::new(BinnedConfig::cg_frames())),
             2,
         )
@@ -170,7 +175,10 @@ fn failed_jobs_are_replayed_to_completion() {
     let mut wm = mummi::core::WorkflowManager::new(
         cfg.clone(),
         launcher,
-        Box::new(FarthestPointSampler::new(FpsConfig { cap: 0 }, ExactNn::new())),
+        Box::new(FarthestPointSampler::new(
+            FpsConfig { cap: 0 },
+            ExactNn::new(),
+        )),
         Box::new(BinnedSampler::new(BinnedConfig::cg_frames())),
         2,
     );

@@ -61,8 +61,7 @@ impl MiniCampaign {
             feature_grid: 3,
         };
         let first = mummi::continuum::extract_patches(&continuum.snapshot(), &patch_cfg);
-        let training: Vec<Vec<f64>> =
-            first.iter().map(|p| p.feature_vector(&patch_cfg)).collect();
+        let training: Vec<Vec<f64>> = first.iter().map(|p| p.feature_vector(&patch_cfg)).collect();
         let encoder = app3::train_patch_encoder(EncoderKind::Pca, &training, 3);
         MiniCampaign {
             wm: wm(n_species),
@@ -90,7 +89,11 @@ impl MiniCampaign {
                 .expect("patch creation");
             let mut points = Vec::new();
             for (point, patch) in cands {
-                points.push(app3::state_tagged_point(&point.id, patch.state, point.coords));
+                points.push(app3::state_tagged_point(
+                    &point.id,
+                    patch.state,
+                    point.coords,
+                ));
                 self.patches.insert(patch.id.clone(), patch);
             }
             self.wm.add_patch_candidates(points);
