@@ -6,10 +6,12 @@
 //! 93.73%, median 99.93%; CPU mean 54.12%, median 50.48%).
 
 use campaign::{Campaign, CampaignConfig};
-use mummi_bench::print_histogram;
+use mummi_bench::{print_histogram, TraceOpts};
 
 fn main() {
+    let topts = TraceOpts::from_args();
     let mut c = Campaign::new(CampaignConfig::default());
+    c.set_tracer(topts.tracer());
     // A representative restartable schedule: one cold run, then warm
     // restarts — the occupancy distribution aggregates all profile events.
     for &(nodes, hours) in &[
@@ -52,4 +54,5 @@ fn main() {
         "CPU mean {:.2}% median {:.2}%   (paper: 54.12% / 50.48%)",
         cpu_mean, cpu_median
     );
+    topts.finish(c.tracer());
 }

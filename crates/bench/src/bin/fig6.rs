@@ -10,6 +10,7 @@
 //! the synchronous-Q↔R, exhaustive-matcher cost over a 4× larger graph.
 
 use campaign::{Campaign, CampaignConfig};
+use mummi_bench::TraceOpts;
 use simcore::Timeline;
 
 fn print_timeline(title: &str, cg: &Timeline, aa: &Timeline) {
@@ -29,7 +30,9 @@ fn print_timeline(title: &str, cg: &Timeline, aa: &Timeline) {
 }
 
 fn main() {
+    let topts = TraceOpts::from_args();
     let mut c = Campaign::new(CampaignConfig::default());
+    c.set_tracer(topts.tracer());
     // Warm the campaign so ready buffers exist (the paper's runs restart).
     c.execute_run(1000, 24);
 
@@ -70,4 +73,5 @@ fn main() {
         "peak simultaneous GPU jobs at 4000 nodes: {} (paper: 24,000)",
         r4000.peak_gpu_jobs
     );
+    topts.finish(c.tracer());
 }

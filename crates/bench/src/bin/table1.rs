@@ -4,25 +4,34 @@
 //! This work utilized over 600,000 node hours on Summit using several runs
 //! at varying scales."
 //!
-//! Usage: `table1 [--full]`. The default executes the paper's exact
-//! schedule but with the twenty 1000-node runs represented by five (the
-//! DES is deterministic, so additional identical runs only add wall time);
-//! `--full` executes all 32 runs.
+//! Usage: `table1 [--full | --smoke]`. The default executes the paper's
+//! exact schedule but with the twenty 1000-node runs represented by five
+//! (the DES is deterministic, so additional identical runs only add wall
+//! time); `--full` executes all 32 runs; `--smoke` runs a two-allocation
+//! restart chain at 100 nodes (seconds — the CI determinism check).
 
 use campaign::{Campaign, CampaignConfig};
+use mummi_bench::TraceOpts;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let topts = TraceOpts::from_args();
     // (nodes, wall-time hours, #runs), exactly Table 1.
-    let schedule: Vec<(u32, u64, u32)> = vec![
-        (100, 6, 5),
-        (100, 12, 3),
-        (500, 12, 3),
-        (1000, 24, if full { 20 } else { 5 }),
-        (4000, 24, 1),
-    ];
+    let schedule: Vec<(u32, u64, u32)> = if smoke {
+        vec![(100, 4, 1), (100, 2, 1)]
+    } else {
+        vec![
+            (100, 6, 5),
+            (100, 12, 3),
+            (500, 12, 3),
+            (1000, 24, if full { 20 } else { 5 }),
+            (4000, 24, 1),
+        ]
+    };
 
     let mut c = Campaign::new(CampaignConfig::default());
+    c.set_tracer(topts.tracer());
     println!("# Table 1: (re)starting the campaign at different scales");
     println!("#nodes\twall-time\t#runs\tnode hours");
     let rows = c.run_table(&schedule);
@@ -40,13 +49,15 @@ fn main() {
         "\ntotal node hours executed: {}",
         mummi_bench::group_digits(total)
     );
-    if !full {
+    if !full && !smoke {
         println!(
             "projected at the paper's full schedule (20 × 1000-node runs): {}",
             mummi_bench::group_digits(projected)
         );
     }
-    println!("paper: >600,000 node hours (597,000 scheduled in Table 1)");
+    if !smoke {
+        println!("paper: >600,000 node hours (597,000 scheduled in Table 1)");
+    }
 
     println!("\n# per-run detail (restart behavior)");
     println!("run\tnodes\thours\tplaced\tcompleted\tmeanGPU%\tload");
@@ -71,4 +82,5 @@ fn main() {
         c.cg_lengths().len(),
         c.aa_lengths().len()
     );
+    topts.finish(c.tracer());
 }

@@ -5,7 +5,85 @@
 //! prints the series as plain text tables so the output can be diffed,
 //! plotted, or pasted next to the original.
 
+use std::path::PathBuf;
+
 use simcore::Histogram;
+use trace::Tracer;
+
+/// Tracing options shared by the figure binaries.
+///
+/// `--trace <path>` writes the run's virtual-time trace as JSONL (one
+/// event per line, stable field order — byte-identical across same-seed
+/// runs); `--trace-chrome <path>` writes the Chrome `trace_event` form,
+/// loadable in Perfetto or `about:tracing`.
+#[derive(Debug, Default)]
+pub struct TraceOpts {
+    /// Destination for the JSONL export, if requested.
+    pub jsonl: Option<PathBuf>,
+    /// Destination for the Chrome trace_event export, if requested.
+    pub chrome: Option<PathBuf>,
+}
+
+impl TraceOpts {
+    /// Parses `--trace <path>` / `--trace-chrome <path>` out of the
+    /// process arguments (other flags are left for the binary to handle).
+    pub fn from_args() -> TraceOpts {
+        let mut opts = TraceOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let p = args.next().unwrap_or_else(|| {
+                        eprintln!("--trace requires a path argument");
+                        std::process::exit(2);
+                    });
+                    opts.jsonl = Some(PathBuf::from(p));
+                }
+                "--trace-chrome" => {
+                    let p = args.next().unwrap_or_else(|| {
+                        eprintln!("--trace-chrome requires a path argument");
+                        std::process::exit(2);
+                    });
+                    opts.chrome = Some(PathBuf::from(p));
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// An enabled tracer when any trace output was requested, else the
+    /// no-op handle — so untraced runs pay nothing.
+    pub fn tracer(&self) -> Tracer {
+        if self.jsonl.is_some() || self.chrome.is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// Writes the requested exports and reports where they went.
+    pub fn finish(&self, tracer: &Tracer) {
+        if let Some(path) = &self.jsonl {
+            tracer.write_jsonl(path).unwrap_or_else(|e| {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!(
+                "trace: {} events -> {}",
+                tracer.event_count(),
+                path.display()
+            );
+        }
+        if let Some(path) = &self.chrome {
+            tracer.write_chrome(path).unwrap_or_else(|e| {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("chrome trace -> {}", path.display());
+        }
+    }
+}
 
 /// Prints a two-column header followed by rows.
 pub fn print_series(title: &str, xlabel: &str, ylabel: &str, rows: &[(f64, f64)]) {

@@ -14,6 +14,7 @@ use mummi_core::{WmCheckpoint, WmConfig, WmEvent};
 use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
 use sched::{Costs, Coupling, JobClass, JobSpec, SchedEngine};
 use simcore::{OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
+use trace::Tracer;
 
 use crate::perf::{AaPerf, CgPerf, ContinuumPerf};
 
@@ -149,6 +150,9 @@ pub struct Campaign {
     frames: u64,
     next_id: u64,
     run_idx: u64,
+    /// Observability sink shared with every run's engine and WM; a no-op
+    /// handle by default.
+    tracer: Tracer,
 }
 
 impl Campaign {
@@ -171,7 +175,22 @@ impl Campaign {
             frames: 0,
             next_id: 0,
             run_idx: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer. Each subsequent run installs the same handle on
+    /// its scheduler engine and workflow manager, so one trace carries the
+    /// whole campaign (runs are disjoint in virtual time only per-run; the
+    /// `run.start` / `run.end` markers delimit them).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer handle (no-op unless [`Campaign::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// All run reports so far.
@@ -240,12 +259,13 @@ impl Campaign {
 
         let nodes = machine.nodes;
         let total_gpus = machine.total_gpus();
-        let engine = SchedEngine::new(
+        let mut engine = SchedEngine::new(
             ResourceGraph::new(machine),
             self.cfg.policy,
             self.cfg.coupling,
             Costs::summit_campaign(),
         );
+        engine.set_tracer(self.tracer.clone());
 
         let cg_target = (total_gpus as f64 * self.cfg.cg_fraction) as u64;
         let wm_cfg = WmConfig {
@@ -264,9 +284,21 @@ impl Campaign {
             ..WmConfig::default()
         };
         let mut wm = app3::build_three_scale_wm(wm_cfg, engine, 14);
+        wm.set_tracer(self.tracer.clone());
         if let Some(ckpt) = &self.ckpt {
             wm.restore(ckpt);
         }
+        self.tracer.set_now(SimTime::ZERO);
+        self.tracer.instant_at(
+            SimTime::ZERO,
+            "campaign",
+            "run.start",
+            &[
+                ("run", self.run_idx.into()),
+                ("nodes", nodes.into()),
+                ("hours", hours.into()),
+            ],
+        );
 
         // Install the per-sim runtime model: remaining length / throughput.
         let sims = Arc::clone(&self.sims);
@@ -324,6 +356,7 @@ impl Campaign {
         );
 
         let mut store = KvDataStore::new(20);
+        store.set_tracer(self.tracer.clone());
         let end = SimTime::from_hours(hours);
         let mut t = SimTime::ZERO;
         let mut next_snapshot = SimTime::ZERO;
@@ -339,6 +372,7 @@ impl Campaign {
                 .min(1.0);
 
         while t <= end {
+            self.tracer.set_now(t);
             // Continuum output: new snapshot → patch candidates.
             while next_snapshot <= t {
                 self.snapshots += 1;
@@ -475,6 +509,16 @@ impl Campaign {
             nodes_failed,
             jobs_crashed,
         };
+        self.tracer.instant_at(
+            end,
+            "campaign",
+            "run.end",
+            &[
+                ("run", self.run_idx.into()),
+                ("placed", placed.into()),
+                ("completed", completed.into()),
+            ],
+        );
         self.ckpt = Some(ckpt);
         self.reports.push(report.clone());
         report

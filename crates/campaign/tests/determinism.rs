@@ -83,6 +83,115 @@ fn different_seeds_actually_diverge() {
     assert_ne!(run(1), run(2), "distinct seeds must change the trace");
 }
 
+mod traced {
+    //! The same determinism contract, witnessed through `mummi-trace`:
+    //! a same-seed campaign re-run must serialize to a byte-identical
+    //! JSONL trace, and the figure series derived from that trace must
+    //! equal the live collectors integer for integer.
+
+    use campaign::{Campaign, CampaignConfig};
+    use trace::{derive, Tracer};
+
+    fn traced_campaign(seed: u64) -> Campaign {
+        let cfg = CampaignConfig {
+            seed,
+            ..CampaignConfig::default()
+        };
+        let mut c = Campaign::new(cfg);
+        c.set_tracer(Tracer::enabled());
+        c
+    }
+
+    #[test]
+    fn same_seed_traces_are_byte_identical() {
+        let run = |seed: u64| {
+            let mut c = traced_campaign(seed);
+            c.execute_run(100, 4);
+            c.execute_run(100, 2); // restart leg included in the contract
+            c.tracer().to_jsonl()
+        };
+        let a = run(424242);
+        assert!(!a.is_empty(), "traced campaign produced no output");
+        assert_eq!(
+            a,
+            run(424242),
+            "same-seed campaigns must serialize byte-identical traces"
+        );
+        assert_ne!(a, run(7), "distinct seeds must change the trace");
+    }
+
+    #[test]
+    fn figure5_occupancy_rebuilds_exactly_from_trace() {
+        let mut c = traced_campaign(11);
+        c.execute_run(100, 4);
+        let events = c.tracer().events();
+        let derived = derive::occupancy_profiler(&events);
+        assert!(!derived.samples().is_empty());
+        assert_eq!(
+            derived.samples(),
+            c.profiler().samples(),
+            "trace-derived occupancy must equal the live profiler"
+        );
+        assert_eq!(derived.gpu_series(), c.profiler().gpu_series());
+
+        // The series must survive the JSONL round trip too: what a
+        // `--trace` file holds is enough to regenerate Figure 5.
+        let reparsed = derive::parse_jsonl(&c.tracer().to_jsonl());
+        let from_file = derive::occupancy_profiler(&reparsed);
+        assert_eq!(from_file.samples(), c.profiler().samples());
+    }
+
+    #[test]
+    fn figure6_timelines_rebuild_exactly_from_trace() {
+        let mut c = traced_campaign(23);
+        let report = c.execute_run(100, 4);
+        let events = derive::parse_jsonl(&c.tracer().to_jsonl());
+        let cg = derive::timeline(&events, "cg");
+        let aa = derive::timeline(&events, "aa");
+        assert!(!cg.points().is_empty());
+        assert_eq!(
+            cg.points(),
+            report.cg_timeline.points(),
+            "trace-derived CG timeline must equal the run report"
+        );
+        assert_eq!(aa.points(), report.aa_timeline.points());
+    }
+
+    #[test]
+    fn placement_series_matches_the_placed_counter() {
+        let mut c = traced_campaign(31);
+        c.execute_run(100, 4);
+        let events = c.tracer().events();
+        let series = derive::jobs_per_minute(&events);
+        let placed_from_series: u64 = series.iter().map(|&(_, n)| n).sum();
+        assert!(placed_from_series > 0);
+        let snap = c.tracer().metrics_snapshot();
+        let placed_counter = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "sched.placed")
+            .map(|&(_, v)| v);
+        assert_eq!(
+            Some(placed_from_series),
+            placed_counter,
+            "every job.placed event must be mirrored by the counter"
+        );
+    }
+
+    #[test]
+    fn restart_chain_occupancy_aggregates_across_runs() {
+        let mut c = traced_campaign(47);
+        c.execute_run(100, 2);
+        c.execute_run(100, 2);
+        let derived = derive::occupancy_profiler(&c.tracer().events());
+        assert_eq!(
+            derived.samples(),
+            c.profiler().samples(),
+            "merged Figure 5 profile must match across a restart chain"
+        );
+    }
+}
+
 #[test]
 fn restart_chains_are_deterministic_too() {
     // The paper's campaign survived across many allocations via

@@ -9,6 +9,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use trace::Tracer;
+
 use crate::store::{BackendKind, DataStore};
 use crate::{DataError, Result};
 
@@ -23,6 +25,7 @@ pub struct FsStore {
     root: PathBuf,
     retries: u32,
     backups: bool,
+    tracer: Tracer,
 }
 
 impl FsStore {
@@ -34,6 +37,7 @@ impl FsStore {
             root,
             retries: 3,
             backups: false,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -47,6 +51,14 @@ impl FsStore {
     pub fn with_backups(mut self, enabled: bool) -> FsStore {
         self.backups = enabled;
         self
+    }
+
+    /// Installs a tracer; reads and writes record per-op events (with the
+    /// retry count the armoring consumed) plus `datastore.fs.*` counters.
+    /// The event timestamps come from the tracer's virtual clock — keep it
+    /// current via [`Tracer::set_now`] (the WM tick does this).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The root directory.
@@ -70,15 +82,44 @@ impl FsStore {
         fs::read(PathBuf::from(p)).map_err(DataError::Io)
     }
 
-    fn retrying<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    fn retrying<T>(&self, op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        self.retrying_counted(op).map(|(v, _)| v)
+    }
+
+    /// Like [`FsStore::retrying`], but also reports how many attempts the
+    /// operation consumed (1 = first try succeeded).
+    fn retrying_counted<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<(T, u32)> {
         let budget = self.retries.max(1);
         let mut attempt = 1;
         loop {
             match op() {
-                Ok(v) => return Ok(v),
+                Ok(v) => return Ok((v, attempt)),
                 Err(e) if attempt >= budget => return Err(e),
                 Err(_) => attempt += 1,
             }
+        }
+    }
+
+    /// Records one store operation (retries = attempts beyond the first).
+    fn trace_op(&self, op: &'static str, ns: &str, key: &str, bytes: usize, attempts: u32) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let retries = u64::from(attempts.saturating_sub(1));
+        self.tracer.instant(
+            "datastore",
+            &format!("op.{op}"),
+            &[
+                ("backend", "fs".into()),
+                ("ns", ns.into()),
+                ("key", key.into()),
+                ("bytes", bytes.into()),
+                ("retries", retries.into()),
+            ],
+        );
+        self.tracer.counter_add(&format!("datastore.fs.{op}s"), 1);
+        if retries > 0 {
+            self.tracer.counter_add("datastore.fs.retries", retries);
         }
     }
 }
@@ -90,31 +131,40 @@ impl DataStore for FsStore {
 
     fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
         let dir = self.ns_dir(ns);
-        self.retrying(|| fs::create_dir_all(&dir))?;
+        let mut attempts = 0;
+        attempts += self.retrying_counted(|| fs::create_dir_all(&dir))?.1;
         let path = self.item_path(ns, key);
+        let mut steps = 3;
         if self.backups && path.exists() {
             let mut bak = path.clone().into_os_string();
             bak.push(".bak");
-            self.retrying(|| fs::copy(&path, PathBuf::from(&bak)).map(|_| ()))?;
+            attempts += self
+                .retrying_counted(|| fs::copy(&path, PathBuf::from(&bak)).map(|_| ()))?
+                .1;
+            steps += 1;
         }
         let tmp = dir.join(format!(".{key}.tmp"));
-        self.retrying(|| fs::write(&tmp, data))?;
-        self.retrying(|| fs::rename(&tmp, &path))?;
+        attempts += self.retrying_counted(|| fs::write(&tmp, data))?.1;
+        attempts += self.retrying_counted(|| fs::rename(&tmp, &path))?.1;
+        // Each write is 3–4 armored steps; report retries beyond one
+        // attempt per step.
+        self.trace_op("write", ns, key, data.len(), attempts - steps + 1);
         Ok(())
     }
 
     fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
         let path = self.item_path(ns, key);
-        self.retrying(|| fs::read(&path)).map_err(|e| {
-            if e.kind() == io::ErrorKind::NotFound {
-                DataError::NotFound {
-                    ns: ns.to_string(),
-                    key: key.to_string(),
-                }
-            } else {
-                DataError::Io(e)
+        match self.retrying_counted(|| fs::read(&path)) {
+            Ok((data, attempts)) => {
+                self.trace_op("read", ns, key, data.len(), attempts);
+                Ok(data)
             }
-        })
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(DataError::NotFound {
+                ns: ns.to_string(),
+                key: key.to_string(),
+            }),
+            Err(e) => Err(DataError::Io(e)),
+        }
     }
 
     fn exists(&mut self, ns: &str, key: &str) -> bool {
@@ -140,6 +190,9 @@ impl DataStore for FsStore {
                 out.push(name.to_string());
             }
         }
+        // `read_dir` order is filesystem-dependent; the trait promises
+        // lexicographic order.
+        out.sort_unstable();
         Ok(out)
     }
 

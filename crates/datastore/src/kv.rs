@@ -9,6 +9,7 @@ use bytes::Bytes;
 use std::sync::Arc;
 
 use kvstore::{Client, Cluster, LatencyModel};
+use trace::Tracer;
 
 use crate::store::{BackendKind, DataStore};
 use crate::{DataError, Result};
@@ -17,6 +18,7 @@ use crate::{DataError, Result};
 #[derive(Debug, Clone)]
 pub struct KvDataStore {
     client: Client,
+    tracer: Tracer,
 }
 
 impl Default for KvDataStore {
@@ -31,6 +33,7 @@ impl KvDataStore {
     pub fn new(shards: usize) -> KvDataStore {
         KvDataStore {
             client: Client::new(Cluster::new(shards)),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -40,6 +43,7 @@ impl KvDataStore {
     pub fn over(cluster: Arc<Cluster>) -> KvDataStore {
         KvDataStore {
             client: Client::new(cluster),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -47,6 +51,27 @@ impl KvDataStore {
     pub fn over_with_latency(cluster: Arc<Cluster>, latency: LatencyModel) -> KvDataStore {
         KvDataStore {
             client: Client::with_latency(cluster, latency),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Installs a tracer; each operation bumps a `datastore.kv.*` counter
+    /// and feeds its virtual network latency (from the client's latency
+    /// model, in nanoseconds) into the `datastore.kv.op_ns` histogram.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records one cluster operation: the op counter plus the virtual
+    /// nanoseconds it cost (delta of the client's accumulator).
+    fn trace_op(&self, op: &'static str, ns_before: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.counter_add(&format!("datastore.kv.{op}s"), 1);
+        let delta = self.client.virtual_ns().saturating_sub(ns_before);
+        if delta > 0 {
+            self.tracer.observe("datastore.kv.op_ns", delta);
         }
     }
 
@@ -73,19 +98,21 @@ impl DataStore for KvDataStore {
     }
 
     fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
+        let before = self.client.virtual_ns();
         self.client
             .set(&Self::full_key(ns, key), Bytes::copy_from_slice(data));
+        self.trace_op("write", before);
         Ok(())
     }
 
     fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
-        self.client
-            .get(&Self::full_key(ns, key))
-            .map(|b| b.to_vec())
-            .ok_or_else(|| DataError::NotFound {
-                ns: ns.to_string(),
-                key: key.to_string(),
-            })
+        let before = self.client.virtual_ns();
+        let got = self.client.get(&Self::full_key(ns, key));
+        self.trace_op("read", before);
+        got.map(|b| b.to_vec()).ok_or_else(|| DataError::NotFound {
+            ns: ns.to_string(),
+            key: key.to_string(),
+        })
     }
 
     fn exists(&mut self, ns: &str, key: &str) -> bool {
@@ -93,24 +120,31 @@ impl DataStore for KvDataStore {
     }
 
     fn list(&mut self, ns: &str) -> Result<Vec<String>> {
-        Ok(self
+        let mut keys: Vec<String> = self
             .client
             .keys(&format!("{ns}:{{*"))
             .iter()
             .filter_map(|k| Self::strip_ns(ns, k))
-            .collect())
+            .collect();
+        // Cluster scans return keys grouped by shard; the trait promises
+        // lexicographic order.
+        keys.sort_unstable();
+        Ok(keys)
     }
 
     fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()> {
-        self.client
-            .rename(&Self::full_key(from, key), &Self::full_key(to, key))
-            .map_err(|e| match e {
-                kvstore::KvError::NoSuchKey(_) => DataError::NotFound {
-                    ns: from.to_string(),
-                    key: key.to_string(),
-                },
-                other => DataError::Kv(other),
-            })
+        let before = self.client.virtual_ns();
+        let renamed = self
+            .client
+            .rename(&Self::full_key(from, key), &Self::full_key(to, key));
+        self.trace_op("move", before);
+        renamed.map_err(|e| match e {
+            kvstore::KvError::NoSuchKey(_) => DataError::NotFound {
+                ns: from.to_string(),
+                key: key.to_string(),
+            },
+            other => DataError::Kv(other),
+        })
     }
 
     fn delete(&mut self, ns: &str, key: &str) -> Result<bool> {
@@ -123,7 +157,9 @@ impl DataStore for KvDataStore {
 
     fn read_many(&mut self, ns: &str, keys: &[String]) -> Result<Vec<Vec<u8>>> {
         let full: Vec<String> = keys.iter().map(|k| Self::full_key(ns, k)).collect();
+        let before = self.client.virtual_ns();
         let vals = self.client.mget(&full);
+        self.trace_op("read_many", before);
         keys.iter()
             .zip(vals)
             .map(|(k, v)| {

@@ -47,7 +47,12 @@ pub trait DataStore: Send {
     /// Whether `ns/key` exists.
     fn exists(&mut self, ns: &str, key: &str) -> bool;
 
-    /// Lists all keys in `ns`, in unspecified order.
+    /// Lists all keys in `ns`, in ascending lexicographic (byte) order.
+    ///
+    /// Ordering is part of the contract, not a courtesy: feedback
+    /// managers fold over `list` output with order-sensitive running
+    /// aggregates, so a backend-dependent order would make campaign
+    /// results depend on the storage configuration switch.
     fn list(&mut self, ns: &str) -> Result<Vec<String>>;
 
     /// Moves `key` from namespace `from` to namespace `to` — the feedback

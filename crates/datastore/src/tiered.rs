@@ -110,6 +110,9 @@ impl<F: DataStore, D: DataStore> DataStore for TieredStore<F, D> {
                     keys.push(k);
                 }
             }
+            // The union of two sorted tiers is not sorted; restore the
+            // trait's lexicographic order.
+            keys.sort_unstable();
         }
         Ok(keys)
     }

@@ -15,9 +15,11 @@
 //!   `simcore::rng::SeedStream` or an explicitly seeded `StdRng`.
 //! - **L3** — no order-nondeterministic containers (`HashMap`/`HashSet`)
 //!   in non-test code of the coordination crates (`sched`, `mummi-core`,
-//!   `campaign`, `kvstore`). Iteration order there reaches scheduling and
-//!   feedback decisions; use `BTreeMap`/`BTreeSet`, or annotate a
-//!   justified key-access-only use with `// lint: allow(L3)`.
+//!   `campaign`, `kvstore`, `taridx`, `datastore`, `trace`). Iteration
+//!   order there reaches scheduling and feedback decisions — and, through
+//!   `DataStore::list` and the tracer's byte-identical traces, campaign
+//!   outputs; use `BTreeMap`/`BTreeSet`, or annotate a justified
+//!   key-access-only use with `// lint: allow(L3)`.
 //! - **L4** — no `unwrap()`/`expect()` in non-test code of the
 //!   coordination-path crates (`sched`, `mummi-core`, `campaign`,
 //!   `datastore`). Grandfathered files carry a per-file budget in
@@ -168,8 +170,19 @@ impl Config {
 pub const COORDINATION_CRATES: &[&str] = &["sched", "mummi-core", "campaign", "datastore"];
 
 /// Crates whose non-test code must not use order-nondeterministic
-/// containers (L3).
-pub const ORDERED_CRATES: &[&str] = &["sched", "mummi-core", "campaign", "kvstore"];
+/// containers (L3). `taridx` and `datastore` are here because listing
+/// order leaks through `DataStore::list` into feedback folds, and `trace`
+/// because the tracer's byte-identical-output guarantee is itself the
+/// determinism regression detector.
+pub const ORDERED_CRATES: &[&str] = &[
+    "sched",
+    "mummi-core",
+    "campaign",
+    "kvstore",
+    "taridx",
+    "datastore",
+    "trace",
+];
 
 const L1_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "Utc::now", "Local::now"];
 const L2_TOKENS: &[&str] = &["thread_rng", "rand::random"];

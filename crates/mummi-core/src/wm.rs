@@ -29,6 +29,7 @@ use dynim::{HdPoint, History, Sampler};
 use resources::JobShape;
 use sched::{JobClass, JobId, Launcher, Throttle};
 use simcore::{OccupancyProfiler, OccupancySample, SimTime, Timeline};
+use trace::Tracer;
 
 use crate::config::WmConfig;
 use crate::feedback::{AaToCgFeedback, CgParams, CgToContinuumFeedback, FeedbackManager};
@@ -142,6 +143,9 @@ pub struct WorkflowManager<L: Launcher> {
     /// The campaign driver installs one so a simulation's virtual runtime
     /// reflects its remaining target length at its sampled throughput.
     runtime_model: Option<RuntimeModel>,
+    /// Trace sink for WM loop, feedback, selection, and profile records
+    /// (disabled by default).
+    tracer: Tracer,
 }
 
 /// Computes a job's virtual runtime from its class and payload.
@@ -197,7 +201,16 @@ impl<L: Launcher> WorkflowManager<L> {
             runtime_model: None,
             patch_history: History::new(),
             frame_history: History::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer; the WM records its loop, feedback rounds,
+    /// selections, and profile samples on it. Install the same handle on
+    /// the launcher (e.g. [`sched::SchedEngine::set_tracer`]) to get the
+    /// job-lifecycle records in the same trace.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Installs a per-job runtime model (returns `None` to fall back to the
@@ -272,6 +285,10 @@ impl<L: Launcher> WorkflowManager<L> {
     /// One WM cycle at time `now`: poll jobs, replace finished ones, keep
     /// buffers stocked, run feedback and profiling when due.
     pub fn tick(&mut self, now: SimTime, store: &mut dyn DataStore) -> Vec<WmEvent> {
+        // Keep the tracer clock current so emitters without a time
+        // parameter (datastore ops, cancellations) stamp correctly.
+        self.tracer.set_now(now);
+        self.tracer.instant_at(now, "wm", "wm.tick", &[]);
         let mut events = Vec::new();
         self.poll_jobs(now, &mut events);
         self.maintain_sims(now, &mut events);
@@ -295,7 +312,8 @@ impl<L: Launcher> WorkflowManager<L> {
                         self.cg_ready.push_back(payload.clone());
                         events.push(WmEvent::CgSetupDone { patch_id: payload });
                     }
-                    Tracked::Resubmitted { payload, .. } => {
+                    Tracked::Resubmitted { payload, attempt } => {
+                        self.trace_resubmit(now, JobClass::CgSetup, &payload, attempt);
                         events.push(WmEvent::JobResubmitted {
                             class: JobClass::CgSetup,
                             payload,
@@ -318,7 +336,8 @@ impl<L: Launcher> WorkflowManager<L> {
                         self.stats.cg_sims_completed += 1;
                         events.push(WmEvent::CgSimFinished { sim_id: payload });
                     }
-                    Tracked::Resubmitted { payload, .. } => {
+                    Tracked::Resubmitted { payload, attempt } => {
+                        self.trace_resubmit(now, JobClass::CgSim, &payload, attempt);
                         events.push(WmEvent::JobResubmitted {
                             class: JobClass::CgSim,
                             payload,
@@ -337,7 +356,8 @@ impl<L: Launcher> WorkflowManager<L> {
                         self.aa_ready.push_back(payload.clone());
                         events.push(WmEvent::AaSetupDone { frame_id: payload });
                     }
-                    Tracked::Resubmitted { payload, .. } => {
+                    Tracked::Resubmitted { payload, attempt } => {
+                        self.trace_resubmit(now, JobClass::AaSetup, &payload, attempt);
                         events.push(WmEvent::JobResubmitted {
                             class: JobClass::AaSetup,
                             payload,
@@ -360,7 +380,8 @@ impl<L: Launcher> WorkflowManager<L> {
                         self.stats.aa_sims_completed += 1;
                         events.push(WmEvent::AaSimFinished { sim_id: payload });
                     }
-                    Tracked::Resubmitted { payload, .. } => {
+                    Tracked::Resubmitted { payload, attempt } => {
+                        self.trace_resubmit(now, JobClass::AaSim, &payload, attempt);
                         events.push(WmEvent::JobResubmitted {
                             class: JobClass::AaSim,
                             payload,
@@ -370,6 +391,21 @@ impl<L: Launcher> WorkflowManager<L> {
                 }
             }
         }
+    }
+
+    /// Records one failed-and-resubmitted job on the trace.
+    fn trace_resubmit(&self, now: SimTime, class: JobClass, payload: &str, attempt: u32) {
+        self.tracer.instant_at(
+            now,
+            "wm",
+            "wm.resubmit",
+            &[
+                ("class", class.label().into()),
+                ("payload", payload.into()),
+                ("attempt", attempt.into()),
+            ],
+        );
+        self.tracer.counter_add("wm.resubmits", 1);
     }
 
     /// Keep the GPU partition full: spawn simulations from the ready
@@ -468,6 +504,16 @@ impl<L: Launcher> WorkflowManager<L> {
                 self.patch_history.record_select(&pick.id);
             }
             self.stats.cg_selected += 1;
+            self.tracer.instant_at(
+                now,
+                "wm",
+                "wm.select",
+                &[
+                    ("class", JobClass::CgSetup.label().into()),
+                    ("payload", pick.id.as_str().into()),
+                ],
+            );
+            self.tracer.counter_add("wm.selected", 1);
             let at = self.throttle.reserve(now);
             self.cg_setup
                 .submit(&mut self.launcher, &pick.id, at, &mut self.rng);
@@ -487,6 +533,16 @@ impl<L: Launcher> WorkflowManager<L> {
                 self.frame_history.record_select(&pick.id);
             }
             self.stats.aa_selected += 1;
+            self.tracer.instant_at(
+                now,
+                "wm",
+                "wm.select",
+                &[
+                    ("class", JobClass::AaSetup.label().into()),
+                    ("payload", pick.id.as_str().into()),
+                ],
+            );
+            self.tracer.counter_add("wm.selected", 1);
             let at = self.throttle.reserve(now);
             self.aa_setup
                 .submit(&mut self.launcher, &pick.id, at, &mut self.rng);
@@ -502,6 +558,7 @@ impl<L: Launcher> WorkflowManager<L> {
         self.stats.feedback_iterations += 1;
         if let Ok(out) = self.cg_feedback.iterate(store) {
             self.stats.feedback_frames += out.processed as u64;
+            self.trace_feedback(now, "cg-continuum", &out);
             if out.processed > 0 {
                 if let Some(params) = self.cg_feedback.report() {
                     events.push(WmEvent::CouplingUpdated(params));
@@ -510,12 +567,29 @@ impl<L: Launcher> WorkflowManager<L> {
         }
         if let Ok(out) = self.aa_feedback.iterate(store) {
             self.stats.feedback_frames += out.processed as u64;
+            self.trace_feedback(now, "aa-cg", &out);
             if out.processed > 0 {
                 if let Some(params) = self.aa_feedback.report() {
                     events.push(WmEvent::CgParamsUpdated(params));
                 }
             }
         }
+    }
+
+    /// Records one feedback round on the trace.
+    fn trace_feedback(&self, now: SimTime, manager: &str, out: &crate::feedback::FeedbackOutcome) {
+        self.tracer.instant_at(
+            now,
+            "feedback",
+            "feedback.round",
+            &[
+                ("manager", manager.into()),
+                ("processed", out.processed.into()),
+                ("corrupt", out.corrupt.into()),
+            ],
+        );
+        self.tracer
+            .counter_add("feedback.frames", out.processed as u64);
     }
 
     /// Record a profile event (Figures 5 and 6) when due.
@@ -533,10 +607,46 @@ impl<L: Launcher> WorkflowManager<L> {
             cpus_used,
             cpus_total,
         });
+        // The `wm.profile` / `wm.timeline` records mirror the live
+        // collectors exactly — `trace::derive` rebuilds the Figure 5/6
+        // series from them, integer for integer.
+        self.tracer.instant_at(
+            now,
+            "wm",
+            "wm.profile",
+            &[
+                ("gpus_used", gpus_used.into()),
+                ("gpus_total", gpus_total.into()),
+                ("cpus_used", cpus_used.into()),
+                ("cpus_total", cpus_total.into()),
+            ],
+        );
+        if gpus_total > 0 {
+            self.tracer.gauge_set(
+                "wm.gpu_occupancy_pct",
+                100.0 * gpus_used as f64 / gpus_total as f64,
+            );
+        }
         let (r, p) = self.cg_sim.counts(&self.launcher);
         self.cg_timeline.record(now, r, p);
+        self.trace_timeline(now, "cg", r, p);
         let (r, p) = self.aa_sim.counts(&self.launcher);
         self.aa_timeline.record(now, r, p);
+        self.trace_timeline(now, "aa", r, p);
+    }
+
+    /// Records one Figure 6 timeline point on the trace.
+    fn trace_timeline(&self, now: SimTime, class: &str, running: u64, pending: u64) {
+        self.tracer.instant_at(
+            now,
+            "wm",
+            "wm.timeline",
+            &[
+                ("class", class.into()),
+                ("running", running.into()),
+                ("pending", pending.into()),
+            ],
+        );
     }
 
     /// Serializes restartable WM state: counters, ready buffers, and the

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use resources::{Alloc, MatchPolicy, ResourceGraph};
 use simcore::{SimDuration, SimTime};
+use trace::Tracer;
 
 use crate::job::{JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState, TrackedState};
 
@@ -75,6 +76,8 @@ struct JobRecord {
     spec: JobSpec,
     state: TrackedState,
     alloc: Option<Alloc>,
+    /// When the matcher placed the job (for the traced run span).
+    placed_at: Option<SimTime>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +116,8 @@ pub struct SchedEngine {
     /// Events produced outside `advance` (e.g. node failures), delivered
     /// on the next poll.
     pending_events: Vec<JobEvent>,
+    /// Trace sink for job-lifecycle records (disabled by default).
+    tracer: Tracer,
 }
 
 impl SchedEngine {
@@ -139,7 +144,14 @@ impl SchedEngine {
             class_counts: BTreeMap::new(),
             stats: SchedStats::default(),
             pending_events: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer; the engine records job-lifecycle events and
+    /// scheduling-service spans on it. The default handle is a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Simulates a compute-node failure at time `at`: the node is drained
@@ -180,6 +192,16 @@ impl SchedEngine {
         }
         // Resources changed: the FCFS head may fit elsewhere now.
         self.head_blocked = false;
+        self.tracer.instant_at(
+            at,
+            "sched",
+            "node.failed",
+            &[
+                ("node", u64::from(node).into()),
+                ("count", victims.len().into()),
+            ],
+        );
+        self.tracer.counter_add("sched.node_failures", 1);
         victims
     }
 
@@ -233,11 +255,19 @@ impl SchedEngine {
                 spec,
                 state: TrackedState::submitted(),
                 alloc: None,
+                placed_at: None,
             },
         );
         self.inbox.push_back((at, id));
         self.counts_mut(class).1 += 1;
         self.stats.submitted += 1;
+        self.tracer.instant_at(
+            at,
+            "sched",
+            "job.submit",
+            &[("job", id.0.into()), ("class", class.label().into())],
+        );
+        self.tracer.counter_add("sched.submitted", 1);
         id
     }
 
@@ -278,6 +308,12 @@ impl SchedEngine {
             counts.1 -= 1;
         }
         self.stats.canceled += 1;
+        self.tracer.instant(
+            "sched",
+            "job.canceled",
+            &[("job", id.0.into()), ("class", class.label().into())],
+        );
+        self.tracer.counter_add("sched.canceled", 1);
         true
     }
 
@@ -359,12 +395,30 @@ impl SchedEngine {
             JobState::Failed
         });
         let class = rec.spec.class;
+        let placed_at = rec.placed_at.take();
         self.counts_mut(class).0 -= 1;
         if success {
             self.stats.completed += 1;
+            self.tracer.counter_add("sched.completed", 1);
         } else {
             self.stats.failed += 1;
+            self.tracer.counter_add("sched.failed", 1);
         }
+        if let Some(p) = placed_at {
+            self.tracer.span_at(
+                p,
+                t.since(p),
+                "sched",
+                "job.run",
+                &[("job", id.0.into()), ("class", class.label().into())],
+            );
+        }
+        self.tracer.instant_at(
+            t,
+            "sched",
+            "job.finished",
+            &[("job", id.0.into()), ("success", success.into())],
+        );
         // A release may unblock the FCFS head.
         self.head_blocked = false;
         events.push(JobEvent::Finished { id, at: t, success });
@@ -381,10 +435,17 @@ impl SchedEngine {
                 if let Some(rec) = self.jobs.get_mut(&id) {
                     rec.state.advance_to(JobState::Queued);
                     self.ready.push_back((end, id));
+                    self.tracer.span_at(
+                        start,
+                        self.costs.submit,
+                        "sched",
+                        "svc.ingest",
+                        &[("job", id.0.into())],
+                    );
                 }
             }
             Action::Match => {
-                let Some(&(_, id)) = self.ready.front() else {
+                let Some(&(ready_at, id)) = self.ready.front() else {
                     return;
                 };
                 let Some(shape) = self.jobs.get(&id).map(|rec| rec.spec.shape) else {
@@ -403,6 +464,15 @@ impl SchedEngine {
                     Coupling::Synchronous => self.q_free_at = end,
                     Coupling::Asynchronous => self.r_free_at = end,
                 }
+                self.tracer.span_at(
+                    start,
+                    cost,
+                    "sched",
+                    "svc.match",
+                    &[("job", id.0.into()), ("visited", visited.into())],
+                );
+                self.tracer
+                    .observe("sched.visited_per_match", visited);
                 match placed {
                     Some(alloc) => {
                         self.ready.pop_front();
@@ -412,6 +482,7 @@ impl SchedEngine {
                         };
                         rec.alloc = Some(alloc);
                         rec.state.advance_to(JobState::Running);
+                        rec.placed_at = Some(end);
                         let runtime = rec.spec.runtime;
                         let class = rec.spec.class;
                         let counts = self.counts_mut(class);
@@ -419,6 +490,15 @@ impl SchedEngine {
                         counts.1 -= 1;
                         self.stats.placed += 1;
                         self.completions.push(Reverse((end + runtime, id)));
+                        self.tracer.instant_at(
+                            end,
+                            "sched",
+                            "job.placed",
+                            &[("job", id.0.into()), ("class", class.label().into())],
+                        );
+                        self.tracer.counter_add("sched.placed", 1);
+                        self.tracer
+                            .observe("sched.queue_wait_us", end.since(ready_at).as_micros());
                         events.push(JobEvent::Placed { id, at: end });
                     }
                     None => {
@@ -426,6 +506,7 @@ impl SchedEngine {
                         // queue until resources are released.
                         self.head_blocked = true;
                         self.stats.match_misses += 1;
+                        self.tracer.counter_add("sched.match_misses", 1);
                     }
                 }
             }

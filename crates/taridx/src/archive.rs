@@ -104,7 +104,7 @@ impl IndexedTar {
         self.index.contains(key)
     }
 
-    /// Live keys, in arbitrary order.
+    /// Live keys, in ascending lexicographic order.
     pub fn keys(&self) -> Vec<String> {
         self.index.keys().map(str::to_string).collect()
     }
@@ -234,8 +234,9 @@ impl IndexedTar {
         repack_path.push(".repack");
         let repack_path = PathBuf::from(repack_path);
 
-        let mut keys: Vec<String> = self.index.keys().map(str::to_string).collect();
-        keys.sort(); // deterministic layout
+        // Index iteration is sorted, so the rewritten layout is
+        // deterministic without an extra sort.
+        let keys: Vec<String> = self.index.keys().map(str::to_string).collect();
         {
             let mut fresh = IndexedTar::create(&repack_path)?;
             fresh.set_mtime(self.mtime);

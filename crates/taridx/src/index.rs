@@ -12,7 +12,7 @@
 //! reinserted and is taken to be the correct value". Deleting a key only
 //! touches the index — the tar data is immutable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
@@ -26,13 +26,17 @@ pub struct IndexEntry {
     pub size: u64,
 }
 
-/// In-memory index with ordered insert history.
+/// In-memory index over the live members of an archive.
+///
+/// Keys are held in a `BTreeMap` so every iteration (and everything built
+/// on it, like `TarStore::list`) observes the same ascending lexicographic
+/// order — listing order must not depend on which backend served it.
 #[derive(Debug, Clone, Default)]
 pub struct Index {
-    map: HashMap<String, IndexEntry>,
-    /// Append history in archive order (including superseded records), kept
-    /// so the sidecar file can be rewritten faithfully.
-    history: Vec<(String, IndexEntry)>,
+    map: BTreeMap<String, IndexEntry>,
+    /// Total records ever appended, including superseded re-inserts; the
+    /// archive itself holds the full append history.
+    appended: usize,
 }
 
 impl Index {
@@ -43,7 +47,7 @@ impl Index {
 
     /// Records a new member; a repeated key supersedes the previous entry.
     pub fn insert(&mut self, key: &str, entry: IndexEntry) {
-        self.history.push((key.to_string(), entry));
+        self.appended += 1;
         self.map.insert(key.to_string(), entry);
     }
 
@@ -72,29 +76,31 @@ impl Index {
         self.map.contains_key(key)
     }
 
-    /// Iterates live keys in arbitrary order.
+    /// Iterates live keys in ascending lexicographic order.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.map.keys().map(|s| s.as_str())
     }
 
     /// Total records ever appended (including superseded ones).
     pub fn appended(&self) -> usize {
-        self.history.len()
+        self.appended
     }
 
     /// Serializes the live view to the sidecar file at `path`, atomically
     /// (write to `<path>.tmp`, then rename) to guard against a crash
     /// mid-flush leaving a truncated index.
+    ///
+    /// Exactly one record per live key, in key order — the sidecar is a
+    /// canonical snapshot of the live mapping, not a replay log. Last-wins
+    /// recovery over superseded records is the job of the archive scan
+    /// (`IndexedTar::recover_index`), which re-reads the tar stream where
+    /// the full append history actually lives.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let tmp = path.with_extension("idx.tmp");
         {
             let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
-            // Persist full history so recovery semantics (last wins) survive
-            // a save/load cycle even for superseded keys later re-removed.
-            for (key, e) in &self.history {
-                if self.map.get(key) == Some(e) {
-                    writeln!(f, "{}\t{}\t{}", e.offset, e.size, key)?;
-                }
+            for (key, e) in &self.map {
+                writeln!(f, "{}\t{}\t{}", e.offset, e.size, key)?;
             }
             f.flush()?;
         }
@@ -240,6 +246,116 @@ mod tests {
         assert!(!loaded.contains("gone"));
         assert!(loaded.contains("kept"));
         fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn keys_iterate_in_lexicographic_order() {
+        let mut idx = Index::new();
+        for key in ["zebra", "alpha", "mid", "alpha/sub"] {
+            idx.insert(
+                key,
+                IndexEntry {
+                    offset: 512,
+                    size: 1,
+                },
+            );
+        }
+        let keys: Vec<&str> = idx.keys().collect();
+        assert_eq!(keys, vec!["alpha", "alpha/sub", "mid", "zebra"]);
+    }
+
+    #[test]
+    fn save_writes_one_record_per_live_key_in_key_order() {
+        let mut idx = Index::new();
+        // Two identical (key, entry) records in the append history used to
+        // produce duplicate sidecar lines.
+        let e = IndexEntry {
+            offset: 512,
+            size: 4,
+        };
+        idx.insert("dup", e);
+        idx.insert("dup", e);
+        idx.insert(
+            "b",
+            IndexEntry {
+                offset: 1024,
+                size: 1,
+            },
+        );
+        idx.insert(
+            "a",
+            IndexEntry {
+                offset: 1536,
+                size: 2,
+            },
+        );
+        let p = tmpfile("canonical.idx");
+        idx.save(&p).unwrap();
+        let text = fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "1536\t2\ta\n1024\t1\tb\n512\t4\tdup\n");
+        fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_covers_superseded_reinserted_and_removed_keys() {
+        let mut idx = Index::new();
+        // Superseded: two versions, last wins.
+        idx.insert(
+            "superseded",
+            IndexEntry {
+                offset: 512,
+                size: 10,
+            },
+        );
+        idx.insert(
+            "superseded",
+            IndexEntry {
+                offset: 2048,
+                size: 20,
+            },
+        );
+        // Removed, then re-inserted at a new location.
+        idx.insert(
+            "reborn",
+            IndexEntry {
+                offset: 3072,
+                size: 30,
+            },
+        );
+        idx.remove("reborn");
+        idx.insert(
+            "reborn",
+            IndexEntry {
+                offset: 4096,
+                size: 40,
+            },
+        );
+        // Removed and never re-inserted.
+        idx.insert(
+            "gone",
+            IndexEntry {
+                offset: 5120,
+                size: 50,
+            },
+        );
+        idx.remove("gone");
+
+        let p = tmpfile("full-roundtrip.idx");
+        idx.save(&p).unwrap();
+        let loaded = Index::load(&p).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get("superseded").unwrap().offset, 2048);
+        assert_eq!(loaded.get("reborn").unwrap().offset, 4096);
+        assert!(!loaded.contains("gone"));
+        // Saving the loaded copy reproduces the same canonical bytes.
+        let p2 = tmpfile("full-roundtrip-2.idx");
+        loaded.save(&p2).unwrap();
+        assert_eq!(
+            fs::read_to_string(&p).unwrap(),
+            fs::read_to_string(&p2).unwrap()
+        );
+        fs::remove_file(p).unwrap();
+        fs::remove_file(p2).unwrap();
     }
 
     #[test]

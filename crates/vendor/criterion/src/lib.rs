@@ -133,9 +133,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_bench(&full, self.criterion.sample_size, self.throughput, &mut |b| {
-            f(b, input)
-        });
+        run_bench(
+            &full,
+            self.criterion.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -166,7 +169,10 @@ fn run_bench(
             format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
         }
         Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
-            format!("  {:.1} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
         }
         _ => String::new(),
     };

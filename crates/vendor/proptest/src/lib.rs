@@ -226,8 +226,8 @@ pub mod strategy {
     impl Strategy for &str {
         type Value = String;
         fn generate(&self, rng: &mut TestRng) -> String {
-            let atoms = parse_pattern(self)
-                .unwrap_or_else(|e| panic!("unsupported regex {self:?}: {e}"));
+            let atoms =
+                parse_pattern(self).unwrap_or_else(|e| panic!("unsupported regex {self:?}: {e}"));
             let mut out = String::new();
             for (chars, lo, hi) in &atoms {
                 let n = rng.gen_range(*lo..=*hi);
@@ -579,7 +579,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

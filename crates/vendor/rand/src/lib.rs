@@ -147,10 +147,7 @@ pub mod rngs {
 
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -457,10 +454,16 @@ mod tests {
     #[test]
     fn sample_iter_streams_standard() {
         let r = StdRng::seed_from_u64(5);
-        let v: Vec<u32> = r.sample_iter(crate::distributions::Standard).take(5).collect();
+        let v: Vec<u32> = r
+            .sample_iter(crate::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(v.len(), 5);
         let r = StdRng::seed_from_u64(5);
-        let w: Vec<u32> = r.sample_iter(crate::distributions::Standard).take(5).collect();
+        let w: Vec<u32> = r
+            .sample_iter(crate::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(v, w);
     }
 

@@ -93,8 +93,7 @@ where
 /// The conventional prelude.
 pub mod prelude {
     pub use super::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
     };
 }
 

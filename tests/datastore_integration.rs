@@ -96,6 +96,35 @@ fn read_many_matches_sequential_reads_on_all_backends() {
 }
 
 #[test]
+fn list_order_is_lexicographic_on_every_backend() {
+    // The `DataStore::list` ordering contract: ascending lexicographic,
+    // independent of insertion order, shard placement, directory
+    // enumeration order, or archive append order. Keys are written in a
+    // deliberately shuffled order with shapes that would diverge under
+    // numeric or insertion ordering ("f10" < "f2" lexicographically).
+    let written = [
+        "f10", "f2", "zeta", "alpha", "f1", "mid:sub", "f20", "beta", "f3", "alpha:0",
+    ];
+    let mut expected: Vec<String> = written.iter().map(|s| s.to_string()).collect();
+    expected.sort_unstable();
+    for mut store in backends("order") {
+        for k in &written {
+            store.write("ns", k, k.as_bytes()).expect("write");
+        }
+        assert_eq!(
+            store.list("ns").expect("list"),
+            expected,
+            "backend {} violated the list ordering contract",
+            store.kind().name()
+        );
+        // Deleting and re-inserting must not disturb the order.
+        store.delete("ns", "beta").expect("delete");
+        store.write("ns", "beta", b"again").expect("rewrite");
+        assert_eq!(store.list("ns").expect("list"), expected);
+    }
+}
+
+#[test]
 fn backend_kinds_are_reported() {
     let kinds: Vec<BackendKind> = backends("kinds").iter().map(|s| s.kind()).collect();
     assert_eq!(
