@@ -4,18 +4,30 @@
 //! This work utilized over 600,000 node hours on Summit using several runs
 //! at varying scales."
 //!
-//! Usage: `table1 [--full | --smoke]`. The default executes the paper's
-//! exact schedule but with the twenty 1000-node runs represented by five
-//! (the DES is deterministic, so additional identical runs only add wall
-//! time); `--full` executes all 32 runs; `--smoke` runs a two-allocation
-//! restart chain at 100 nodes (seconds — the CI determinism check).
+//! Usage: `table1 [--full | --smoke] [--chaos <seed>]`. The default
+//! executes the paper's exact schedule but with the twenty 1000-node runs
+//! represented by five (the DES is deterministic, so additional identical
+//! runs only add wall time); `--full` executes all 32 runs; `--smoke` runs
+//! a two-allocation restart chain at 100 nodes (seconds — the CI
+//! determinism check). `--chaos <seed>` injects the seeded smoke fault
+//! plan (one node failure, store-fault window, job hang, and WM crash per
+//! allocation) and exits nonzero if any run's job accounting fails to
+//! reconcile.
 
 use campaign::{Campaign, CampaignConfig};
+use chaos::FaultPlan;
 use mummi_bench::TraceOpts;
+use simcore::SimDuration;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos_seed: Option<u64> = args
+        .iter()
+        .position(|a| a == "--chaos")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
     let topts = TraceOpts::from_args();
     // (nodes, wall-time hours, #runs), exactly Table 1.
     let schedule: Vec<(u32, u64, u32)> = if smoke {
@@ -30,7 +42,19 @@ fn main() {
         ]
     };
 
-    let mut c = Campaign::new(CampaignConfig::default());
+    let mut cfg = CampaignConfig::default();
+    let plan = chaos_seed.map(|seed| {
+        // Fault times are relative to each run's start; spanning the
+        // shortest scheduled allocation puts every fault inside every run.
+        let min_hours = schedule.iter().map(|&(_, h, _)| h).min().unwrap_or(1);
+        let max_nodes = schedule.iter().map(|&(n, _, _)| n).max().unwrap_or(1);
+        FaultPlan::smoke(seed, SimDuration::from_hours(min_hours), max_nodes)
+    });
+    if let Some(plan) = &plan {
+        cfg.fault_plan = Some(plan.clone());
+        cfg.job_timeout_grace = 1.5;
+    }
+    let mut c = Campaign::new(cfg);
     c.set_tracer(topts.tracer());
     println!("# Table 1: (re)starting the campaign at different scales");
     println!("#nodes\twall-time\t#runs\tnode hours");
@@ -82,5 +106,34 @@ fn main() {
         c.cg_lengths().len(),
         c.aa_lengths().len()
     );
+    if let (Some(seed), Some(plan)) = (chaos_seed, &plan) {
+        println!("\n# chaos: per-allocation fault plan (seed {seed})");
+        print!("{}", plan.to_text());
+        println!("run\tcrashes\thung\ttimed-out\tstore-inj\tledger");
+        let mut bad = 0u64;
+        for (i, r) in c.reports().iter().enumerate() {
+            let violations = r.ledger.check();
+            bad += violations.len() as u64;
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                i + 1,
+                r.wm_crashes,
+                r.jobs_hung,
+                r.jobs_timed_out,
+                r.store_faults_injected,
+                if violations.is_empty() {
+                    "ok".to_string()
+                } else {
+                    violations.join("; ")
+                },
+            );
+        }
+        topts.finish(c.tracer());
+        if bad > 0 {
+            eprintln!("chaos: {bad} accounting violations");
+            std::process::exit(1);
+        }
+        return;
+    }
     topts.finish(c.tracer());
 }

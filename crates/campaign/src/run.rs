@@ -8,9 +8,11 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use datastore::KvDataStore;
+use cg::CgFrame;
+use chaos::{FaultKind, FaultPlan, MonotonicWatch, RunLedger};
+use datastore::{DataStore, FaultWindow, KvDataStore, ScheduledFaultStore};
 use mummi_core::app3;
-use mummi_core::{WmCheckpoint, WmConfig, WmEvent};
+use mummi_core::{RuntimeModel, WmCheckpoint, WmConfig, WmEvent};
 use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
 use sched::{Costs, Coupling, JobClass, JobSpec, SchedEngine};
 use simcore::{OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
@@ -55,6 +57,13 @@ pub struct CampaignConfig {
     /// Total planned campaign virtual hours (sets the MPI-bug episode
     /// boundary at one third of it).
     pub planned_hours: f64,
+    /// Job-timeout watchdog grace handed to the WM: a placed job whose
+    /// age exceeds `grace ×` its modeled runtime is presumed hung,
+    /// canceled, and resubmitted. 0 disables the watchdog.
+    pub job_timeout_grace: f64,
+    /// Optional fault plan injected into every run (the chaos harness;
+    /// event times are relative to each run's start).
+    pub fault_plan: Option<FaultPlan>,
     /// Root seed.
     pub seed: u64,
 }
@@ -76,6 +85,8 @@ impl Default for CampaignConfig {
             job_failure_prob: 0.005,
             node_failures_per_day: 2.0,
             planned_hours: 600.0,
+            job_timeout_grace: 0.0,
+            fault_plan: None,
             seed: 20201214,
         }
     }
@@ -121,6 +132,21 @@ pub struct RunReport {
     pub nodes_failed: u64,
     /// Jobs crashed by node failures.
     pub jobs_crashed: u64,
+    /// WM crash points survived (checkpoint → restore → continue).
+    pub wm_crashes: u64,
+    /// Jobs hung by the fault plan.
+    pub jobs_hung: u64,
+    /// Datastore faults injected by scheduled fault windows.
+    pub store_faults_injected: u64,
+    /// Datastore calls charged extra latency by fault windows.
+    pub store_ops_delayed: u64,
+    /// Jobs canceled by the WM timeout watchdog.
+    pub jobs_timed_out: u64,
+    /// Payloads permanently abandoned after exhausting resubmits.
+    pub jobs_abandoned: u64,
+    /// Job accounting summed over every WM incarnation of the run;
+    /// [`RunLedger::check`] must come back empty.
+    pub ledger: RunLedger,
 }
 
 /// The persistent campaign: survives across runs via checkpoints, exactly
@@ -259,8 +285,10 @@ impl Campaign {
 
         let nodes = machine.nodes;
         let total_gpus = machine.total_gpus();
+        // The spec outlives the first engine: a WM crash point discards the
+        // whole incarnation and rebuilds scheduler + WM from scratch.
         let mut engine = SchedEngine::new(
-            ResourceGraph::new(machine),
+            ResourceGraph::new(machine.clone()),
             self.cfg.policy,
             self.cfg.coupling,
             Costs::summit_campaign(),
@@ -280,9 +308,11 @@ impl Campaign {
             // The campaign owns restart state (its sims map + ready
             // queues); per-candidate history would dominate DES memory.
             record_history: false,
+            job_timeout_grace: self.cfg.job_timeout_grace,
             seed: run_seeds.seed_for("wm"),
             ..WmConfig::default()
         };
+        let wm_cfg_base = wm_cfg.clone();
         let mut wm = app3::build_three_scale_wm(wm_cfg, engine, 14);
         wm.set_tracer(self.tracer.clone());
         if let Some(ckpt) = &self.ckpt {
@@ -300,53 +330,65 @@ impl Campaign {
             ],
         );
 
-        // Install the per-sim runtime model: remaining length / throughput.
-        let sims = Arc::clone(&self.sims);
+        // The per-sim runtime model: remaining length / throughput. Built
+        // by a factory because every WM incarnation (the first, and each
+        // crash-point restore) needs its own copy with a fresh RNG stream.
         let cg_perf = CgPerf::default();
         let aa_perf = AaPerf::default();
         let progress = (self.hours_done / self.cfg.planned_hours).min(1.0);
         let (aa_lo, aa_hi) = self.cfg.aa_target_ns;
         let cg_target_us = self.cfg.cg_target_us;
-        let mut model_rng = StdRng::seed_from_u64(run_seeds.seed_for("perf"));
         let samples = Arc::new(Mutex::new((Vec::new(), Vec::new())));
-        let samples_in = Arc::clone(&samples);
-        wm.set_runtime_model(Box::new(move |class, payload| {
-            let mut sims = sims.lock();
-            let rec = sims
-                .entry(payload.to_string())
-                .or_insert_with(|| match class {
-                    JobClass::CgSim => {
-                        let size = cg_perf.sample_size(&mut model_rng);
-                        let rate = cg_perf.sample(size, progress, &mut model_rng);
-                        samples_in.lock().0.push((size, rate));
-                        SimRecord {
-                            target: cg_target_us,
-                            achieved: 0.0,
-                            rate_per_day: rate,
-                            started_at: None,
-                        }
-                    }
-                    _ => {
-                        let size = aa_perf.sample_size(&mut model_rng);
-                        let rate = aa_perf.sample(size, &mut model_rng);
-                        samples_in.lock().1.push((size, rate));
-                        SimRecord {
-                            target: model_rng.gen_range(aa_lo..aa_hi),
-                            achieved: 0.0,
-                            rate_per_day: rate,
-                            started_at: None,
-                        }
-                    }
-                });
-            let remaining = (rec.target - rec.achieved).max(0.0);
-            let days = remaining / rec.rate_per_day.max(1e-9);
-            Some(SimDuration::from_secs_f64(days * 86_400.0).max(SimDuration::from_mins(5)))
-        }));
+        let make_model = {
+            let sims = Arc::clone(&self.sims);
+            let samples = Arc::clone(&samples);
+            move |mut model_rng: StdRng| -> RuntimeModel {
+                let sims = Arc::clone(&sims);
+                let samples_in = Arc::clone(&samples);
+                Box::new(move |class, payload: &str| {
+                    let mut sims = sims.lock();
+                    let rec = sims
+                        .entry(payload.to_string())
+                        .or_insert_with(|| match class {
+                            JobClass::CgSim => {
+                                let size = cg_perf.sample_size(&mut model_rng);
+                                let rate = cg_perf.sample(size, progress, &mut model_rng);
+                                samples_in.lock().0.push((size, rate));
+                                SimRecord {
+                                    target: cg_target_us,
+                                    achieved: 0.0,
+                                    rate_per_day: rate,
+                                    started_at: None,
+                                }
+                            }
+                            _ => {
+                                let size = aa_perf.sample_size(&mut model_rng);
+                                let rate = aa_perf.sample(size, &mut model_rng);
+                                samples_in.lock().1.push((size, rate));
+                                SimRecord {
+                                    target: model_rng.gen_range(aa_lo..aa_hi),
+                                    achieved: 0.0,
+                                    rate_per_day: rate,
+                                    started_at: None,
+                                }
+                            }
+                        });
+                    let remaining = (rec.target - rec.achieved).max(0.0);
+                    let days = remaining / rec.rate_per_day.max(1e-9);
+                    Some(SimDuration::from_secs_f64(days * 86_400.0).max(SimDuration::from_mins(5)))
+                })
+            }
+        };
+        wm.set_runtime_model(make_model(StdRng::seed_from_u64(
+            run_seeds.seed_for("perf"),
+        )));
 
         // The continuum job: one multi-node CPU job for the whole run.
         let cont_nodes = (nodes / 8).clamp(2, 150);
         let cont_perf = ContinuumPerf::default();
-        wm.launcher_mut().submit(
+        // Its id is remembered: the continuum job belongs to the driver,
+        // not to a tracker, so its failures must be booked here.
+        let mut cont_id = wm.launcher_mut().submit(
             JobSpec::new(
                 JobClass::Continuum,
                 JobShape::continuum(cont_nodes),
@@ -355,8 +397,46 @@ impl Campaign {
             SimTime::ZERO,
         );
 
-        let mut store = KvDataStore::new(20);
-        store.set_tracer(self.tracer.clone());
+        // The chaos plan (empty unless configured): store-fault windows are
+        // compiled up-front into the store wrapper; the remaining events
+        // are applied by the tick loop as virtual time passes them.
+        let mut plan = self.cfg.fault_plan.clone().unwrap_or_default();
+        plan.normalize();
+        let windows: Vec<FaultWindow> = plan
+            .events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                FaultKind::StoreFaults {
+                    op,
+                    period,
+                    duration,
+                    extra_latency,
+                } => Some(FaultWindow {
+                    from: ev.at,
+                    until: ev.at + duration,
+                    op,
+                    period,
+                    extra_latency,
+                }),
+                _ => None,
+            })
+            .collect();
+        let mut inner_store = KvDataStore::new(20);
+        inner_store.set_tracer(self.tracer.clone());
+        let mut store = ScheduledFaultStore::new(inner_store, windows);
+        let mut plan_idx = 0usize;
+        let mut wm_crashes = 0u64;
+        let mut jobs_hung = 0u64;
+        let mut ledger = RunLedger {
+            continuum_submitted: 1,
+            ..RunLedger::default()
+        };
+        let mut watch = MonotonicWatch::new();
+        // Run-local figure collectors: a WM crash discards the incarnation,
+        // so its profile and timelines must be folded in before the drop.
+        let mut run_profiler = OccupancyProfiler::new();
+        let mut run_cg_tl = Timeline::new();
+        let mut run_aa_tl = Timeline::new();
         let end = SimTime::from_hours(hours);
         let mut t = SimTime::ZERO;
         let mut next_snapshot = SimTime::ZERO;
@@ -373,6 +453,7 @@ impl Campaign {
 
         while t <= end {
             self.tracer.set_now(t);
+            store.set_now(t);
             // Continuum output: new snapshot → patch candidates.
             while next_snapshot <= t {
                 self.snapshots += 1;
@@ -413,6 +494,17 @@ impl Campaign {
                         rng.gen_range(0.0..1.0),
                         rng.gen_range(0.0..1.0),
                     ];
+                    // The analyzed frame also lands in the data store for
+                    // the CG→continuum feedback round (paper Task 4). A
+                    // store-fault window may reject the write: the frame is
+                    // simply lost to feedback, never to job accounting.
+                    let frame = CgFrame {
+                        id: id.clone(),
+                        time: t.as_secs_f64(),
+                        encoding: [coords[0], coords[1], coords[2]],
+                        rdfs: vec![vec![1.0 + coords[0] - coords[1]; 8]],
+                    };
+                    let _ = store.write(mummi_core::ns::RDF_NEW, &id, &frame.encode());
                     points.push(dynim::HdPoint::new(id, coords));
                 }
                 wm.add_frame_candidates(points);
@@ -426,6 +518,154 @@ impl Campaign {
                     let victims = wm.launcher_mut().fail_node(node, t);
                     nodes_failed += 1;
                     jobs_crashed += victims.len() as u64;
+                    if victims.contains(&cont_id) {
+                        ledger.continuum_failed += 1;
+                    }
+                }
+            }
+
+            // Scheduled faults from the chaos plan whose time has come.
+            while plan_idx < plan.events.len() && plan.events[plan_idx].at <= t {
+                let ev = plan.events[plan_idx];
+                plan_idx += 1;
+                match ev.kind {
+                    FaultKind::NodeFail { node } => {
+                        let node = node % nodes.max(1);
+                        if !wm.launcher().graph().is_drained(node) {
+                            let victims = wm.launcher_mut().fail_node(node, t);
+                            nodes_failed += 1;
+                            jobs_crashed += victims.len() as u64;
+                            if victims.contains(&cont_id) {
+                                ledger.continuum_failed += 1;
+                            }
+                            self.tracer.instant_at(
+                                t,
+                                "chaos",
+                                "chaos.node_fail",
+                                &[("node", node.into()), ("count", victims.len().into())],
+                            );
+                        }
+                    }
+                    FaultKind::StoreFaults {
+                        op,
+                        period,
+                        duration,
+                        ..
+                    } => {
+                        // The window itself was pre-installed on the store;
+                        // this marks its opening in the trace.
+                        self.tracer.instant_at(
+                            t,
+                            "chaos",
+                            "chaos.store_window",
+                            &[
+                                ("op", op.label().into()),
+                                ("period", period.into()),
+                                ("from", ev.at.as_micros().into()),
+                                ("until", (ev.at + duration).as_micros().into()),
+                            ],
+                        );
+                    }
+                    FaultKind::JobHang { class } => {
+                        if let Some(id) = wm.launcher_mut().hang_running(class, t) {
+                            jobs_hung += 1;
+                            self.tracer.instant_at(
+                                t,
+                                "chaos",
+                                "chaos.hang",
+                                &[("class", class.label().into()), ("job", id.0.into())],
+                            );
+                        }
+                    }
+                    FaultKind::WmCrash => {
+                        wm_crashes += 1;
+                        // The checkpoint is the only state that survives the
+                        // crash; live jobs die with the incarnation.
+                        let mut ckpt = wm.checkpoint();
+                        let (next_fb, next_prof) = wm.cadence();
+                        // Credit partial trajectories up to the crash and
+                        // requeue interrupted sims — the end-of-allocation
+                        // restart path, applied mid-run.
+                        {
+                            let mut sims = self.sims.lock();
+                            for (id, rec) in sims.iter_mut() {
+                                if let Some(started) = rec.started_at.take() {
+                                    let days = t.since(started).as_hours_f64() / 24.0;
+                                    rec.achieved =
+                                        (rec.achieved + rec.rate_per_day * days).min(rec.target);
+                                    if rec.achieved < rec.target {
+                                        if id.starts_with("cg-") {
+                                            ckpt.cg_ready.insert(0, id.clone());
+                                        } else {
+                                            ckpt.aa_ready.insert(0, id.clone());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Book the dying incarnation before dropping it.
+                        let st = wm.launcher().stats();
+                        ledger.submitted += st.submitted;
+                        ledger.placed += st.placed;
+                        ledger.completed += st.completed;
+                        ledger.failed += st.failed;
+                        ledger.canceled += st.canceled;
+                        let (live_run, live_pend) = wm.launcher().totals();
+                        ledger.lost_in_crash += live_run + live_pend;
+                        ledger.undelivered_failed += wm.launcher().undelivered_events() as u64;
+                        let tt = wm.tracker_totals();
+                        ledger.t_submitted += tt.submitted;
+                        ledger.t_completed += tt.completed;
+                        ledger.t_failed += tt.failed;
+                        ledger.t_timed_out += tt.timed_out;
+                        ledger.t_lost_in_crash += tt.live;
+                        run_profiler.merge(wm.profiler());
+                        run_cg_tl.merge(wm.cg_timeline());
+                        run_aa_tl.merge(wm.aa_timeline());
+                        self.tracer.instant_at(
+                            t,
+                            "chaos",
+                            "chaos.crash",
+                            &[
+                                ("run", self.run_idx.into()),
+                                ("lost", (live_run + live_pend).into()),
+                            ],
+                        );
+                        // Rebuild scheduler + WM and restore. The new
+                        // incarnation gets its own seed streams: recovery
+                        // must not replay the dead WM's random decisions.
+                        let mut engine = SchedEngine::new(
+                            ResourceGraph::new(machine.clone()),
+                            self.cfg.policy,
+                            self.cfg.coupling,
+                            Costs::summit_campaign(),
+                        );
+                        engine.set_tracer(self.tracer.clone());
+                        let cfg2 = WmConfig {
+                            seed: run_seeds.seed_for(&format!("wm-crash-{wm_crashes}")),
+                            ..wm_cfg_base.clone()
+                        };
+                        wm = app3::build_three_scale_wm(cfg2, engine, 14);
+                        wm.set_tracer(self.tracer.clone());
+                        wm.restore(&ckpt);
+                        wm.set_cadence(next_fb, next_prof);
+                        wm.set_runtime_model(make_model(StdRng::seed_from_u64(
+                            run_seeds.seed_for(&format!("perf-crash-{wm_crashes}")),
+                        )));
+                        // The continuum job died with the allocation's job
+                        // table; resubmit it for the remainder of the run.
+                        cont_id = wm.launcher_mut().submit(
+                            JobSpec::new(
+                                JobClass::Continuum,
+                                JobShape::continuum(cont_nodes),
+                                end.since(t),
+                            ),
+                            t,
+                        );
+                        ledger.continuum_submitted += 1;
+                        // Scheduler counters legitimately restart from zero.
+                        watch.reset();
+                    }
                 }
             }
 
@@ -447,6 +687,30 @@ impl Campaign {
                     }
                     _ => {}
                 }
+            }
+            // Lifetime counters must never run backwards, fault plan or not.
+            {
+                let st = wm.launcher().stats();
+                let ws = wm.stats();
+                watch.observe(&[
+                    st.submitted,
+                    st.placed,
+                    st.completed,
+                    st.failed,
+                    st.canceled,
+                    ws.patches_ingested,
+                    ws.frames_ingested,
+                    ws.cg_selected,
+                    ws.aa_selected,
+                    ws.cg_sims_started,
+                    ws.aa_sims_started,
+                    ws.cg_sims_completed,
+                    ws.aa_sims_completed,
+                    ws.feedback_iterations,
+                    ws.feedback_frames,
+                    ws.jobs_timed_out,
+                    ws.jobs_abandoned,
+                ]);
             }
             if load_time.is_none() {
                 let (r, _) = wm.launcher().class_counts(JobClass::CgSim);
@@ -483,18 +747,48 @@ impl Campaign {
             self.cg_samples.append(&mut s.0);
             self.aa_samples.append(&mut s.1);
         }
-        self.profiler.merge(wm.profiler());
+        run_profiler.merge(wm.profiler());
+        run_cg_tl.merge(wm.cg_timeline());
+        run_aa_tl.merge(wm.aa_timeline());
+        self.profiler.merge(&run_profiler);
         self.hours_done += hours as f64;
 
+        // Close the books on the final incarnation and reconcile.
+        {
+            let st = wm.launcher().stats();
+            ledger.submitted += st.submitted;
+            ledger.placed += st.placed;
+            ledger.completed += st.completed;
+            ledger.failed += st.failed;
+            ledger.canceled += st.canceled;
+            let (live_run, live_pend) = wm.launcher().totals();
+            ledger.live_end += live_run + live_pend;
+            ledger.undelivered_failed += wm.launcher().undelivered_events() as u64;
+            let tt = wm.tracker_totals();
+            ledger.t_submitted += tt.submitted;
+            ledger.t_completed += tt.completed;
+            ledger.t_failed += tt.failed;
+            ledger.t_timed_out += tt.timed_out;
+            ledger.t_live_end += tt.live;
+            ledger.monotonic_violations = watch.violations();
+        }
+        debug_assert!(
+            ledger.check().is_empty(),
+            "run {} accounting does not reconcile: {:?}",
+            self.run_idx,
+            ledger.check()
+        );
+
         let gpu_mean = {
-            let series = wm.profiler().gpu_series();
+            let series = run_profiler.gpu_series();
             if series.is_empty() {
                 0.0
             } else {
                 series.iter().sum::<f64>() / series.len() as f64
             }
         };
-        let peak = wm.cg_timeline().peak_running() + wm.aa_timeline().peak_running();
+        let peak = run_cg_tl.peak_running() + run_aa_tl.peak_running();
+        let wm_stats = wm.stats();
         let report = RunReport {
             nodes,
             hours,
@@ -503,11 +797,18 @@ impl Campaign {
             sims_completed: completed,
             gpu_mean_occupancy: gpu_mean,
             load_time,
-            cg_timeline: wm.cg_timeline().clone(),
-            aa_timeline: wm.aa_timeline().clone(),
+            cg_timeline: run_cg_tl,
+            aa_timeline: run_aa_tl,
             peak_gpu_jobs: peak,
             nodes_failed,
             jobs_crashed,
+            wm_crashes,
+            jobs_hung,
+            store_faults_injected: store.injected(),
+            store_ops_delayed: store.delayed().0,
+            jobs_timed_out: wm_stats.jobs_timed_out,
+            jobs_abandoned: wm_stats.jobs_abandoned,
+            ledger,
         };
         self.tracer.instant_at(
             end,

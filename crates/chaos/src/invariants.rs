@@ -1,0 +1,255 @@
+//! Campaign-level accounting invariants.
+//!
+//! After a run completes under a fault plan, the driver folds every
+//! workflow-manager incarnation's counters into one [`RunLedger`] and
+//! [`RunLedger::check`]s it. The invariants are conservation laws: every
+//! submitted job must end up in exactly one terminal bucket (or be
+//! accounted as live / lost to a crash), on both the scheduler's side and
+//! the trackers' side, and the two sides must reconcile exactly.
+
+/// Aggregated job accounting for one campaign run, summed across every
+/// workflow-manager incarnation (a WM crash point ends one incarnation and
+/// starts the next).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLedger {
+    /// Scheduler: submissions accepted.
+    pub submitted: u64,
+    /// Scheduler: jobs placed on resources.
+    pub placed: u64,
+    /// Scheduler: successful completions.
+    pub completed: u64,
+    /// Scheduler: failures (job faults and node-crash victims).
+    pub failed: u64,
+    /// Scheduler: cancellations (the WM timeout path).
+    pub canceled: u64,
+    /// Scheduler: jobs still live (running + pending) at the end of the run.
+    pub live_end: u64,
+    /// Scheduler: jobs that were live when a WM crash discarded the
+    /// engine (the allocation died with the WM).
+    pub lost_in_crash: u64,
+    /// Failure events the scheduler had produced but not yet delivered
+    /// when a crash point hit (counted in `failed`, never seen by a
+    /// tracker).
+    pub undelivered_failed: u64,
+
+    /// Trackers: submissions (includes resubmissions).
+    pub t_submitted: u64,
+    /// Trackers: successful completions observed.
+    pub t_completed: u64,
+    /// Trackers: failure events observed.
+    pub t_failed: u64,
+    /// Trackers: jobs canceled by the WM timeout path.
+    pub t_timed_out: u64,
+    /// Trackers: jobs still live at the end of the run.
+    pub t_live_end: u64,
+    /// Trackers: live entries dropped when a WM crash discarded the
+    /// incarnation.
+    pub t_lost_in_crash: u64,
+
+    /// Continuum jobs the driver submitted outside the trackers (one per
+    /// WM incarnation).
+    pub continuum_submitted: u64,
+    /// Continuum jobs crashed by node failures (counted in `failed` but
+    /// invisible to the trackers, which never owned them).
+    pub continuum_failed: u64,
+    /// Lifetime counters observed to decrease during the run (must be 0).
+    pub monotonic_violations: u64,
+}
+
+impl RunLedger {
+    /// Checks every invariant; returns one message per violation (empty
+    /// means the ledger reconciles).
+    pub fn check(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut ck = |ok: bool, msg: String| {
+            if !ok {
+                out.push(msg);
+            }
+        };
+        let sched_accounted =
+            self.completed + self.failed + self.canceled + self.live_end + self.lost_in_crash;
+        ck(
+            self.submitted == sched_accounted,
+            format!(
+                "scheduler conservation: submitted {} != completed {} + failed {} + canceled {} \
+                 + live {} + lost-in-crash {}",
+                self.submitted,
+                self.completed,
+                self.failed,
+                self.canceled,
+                self.live_end,
+                self.lost_in_crash
+            ),
+        );
+        let tracker_accounted = self.t_completed
+            + self.t_failed
+            + self.t_timed_out
+            + self.t_live_end
+            + self.t_lost_in_crash;
+        ck(
+            self.t_submitted == tracker_accounted,
+            format!(
+                "tracker conservation: submitted {} != completed {} + failed {} + timed-out {} \
+                 + live {} + lost-in-crash {}",
+                self.t_submitted,
+                self.t_completed,
+                self.t_failed,
+                self.t_timed_out,
+                self.t_live_end,
+                self.t_lost_in_crash
+            ),
+        );
+        ck(
+            self.submitted == self.t_submitted + self.continuum_submitted,
+            format!(
+                "submission reconciliation: scheduler saw {} but trackers submitted {} \
+                 + {} continuum",
+                self.submitted, self.t_submitted, self.continuum_submitted
+            ),
+        );
+        ck(
+            self.failed == self.t_failed + self.undelivered_failed + self.continuum_failed,
+            format!(
+                "failure reconciliation: scheduler counted {} but trackers observed {} \
+                 (+ {} undelivered at crash, + {} continuum)",
+                self.failed, self.t_failed, self.undelivered_failed, self.continuum_failed
+            ),
+        );
+        ck(
+            self.canceled == self.t_timed_out,
+            format!(
+                "cancel reconciliation: scheduler canceled {} but trackers timed out {}",
+                self.canceled, self.t_timed_out
+            ),
+        );
+        ck(
+            self.placed <= self.submitted,
+            format!(
+                "placement bound: placed {} > submitted {}",
+                self.placed, self.submitted
+            ),
+        );
+        ck(
+            self.t_completed <= self.completed
+                && self.completed - self.t_completed <= self.continuum_submitted,
+            format!(
+                "completion reconciliation: scheduler completed {} vs trackers {} \
+                 ({} continuum submitted)",
+                self.completed, self.t_completed, self.continuum_submitted
+            ),
+        );
+        ck(
+            self.monotonic_violations == 0,
+            format!(
+                "{} lifetime counters observed to decrease",
+                self.monotonic_violations
+            ),
+        );
+        out
+    }
+}
+
+/// Watches a vector of lifetime counters across observations and counts
+/// any step where a counter decreases. Counter meaning is up to the
+/// caller; only positions matter.
+#[derive(Debug, Clone, Default)]
+pub struct MonotonicWatch {
+    prev: Vec<u64>,
+    violations: u64,
+}
+
+impl MonotonicWatch {
+    /// A fresh watch with no history.
+    pub fn new() -> MonotonicWatch {
+        MonotonicWatch::default()
+    }
+
+    /// Feeds one observation; each position must be >= its previous value.
+    /// A changed vector length resets the baseline (new counter set).
+    pub fn observe(&mut self, counters: &[u64]) {
+        if self.prev.len() == counters.len() {
+            self.violations += self
+                .prev
+                .iter()
+                .zip(counters)
+                .filter(|(p, c)| c < p)
+                .count() as u64;
+        }
+        self.prev = counters.to_vec();
+    }
+
+    /// Re-baselines without checking (used across WM incarnations, where
+    /// scheduler counters legitimately restart from zero).
+    pub fn reset(&mut self) {
+        self.prev.clear();
+    }
+
+    /// Total decreases observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced() -> RunLedger {
+        RunLedger {
+            submitted: 100,
+            placed: 90,
+            completed: 60,
+            failed: 10,
+            canceled: 5,
+            live_end: 20,
+            lost_in_crash: 5,
+            undelivered_failed: 2,
+            t_submitted: 97,
+            t_completed: 58,
+            t_failed: 8,
+            t_timed_out: 5,
+            t_live_end: 19,
+            t_lost_in_crash: 7,
+            continuum_submitted: 3,
+            continuum_failed: 0,
+            monotonic_violations: 0,
+        }
+    }
+
+    #[test]
+    fn balanced_ledger_passes() {
+        let v = balanced().check();
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn lost_job_is_flagged() {
+        let mut l = balanced();
+        l.completed -= 1; // one job vanished from the books
+        let v = l.check();
+        assert!(!v.is_empty());
+        assert!(v[0].contains("scheduler conservation"));
+    }
+
+    #[test]
+    fn double_counted_failure_is_flagged() {
+        let mut l = balanced();
+        l.failed += 1;
+        l.live_end -= 1; // sched books balance, but trackers disagree
+        let v = l.check();
+        assert!(v.iter().any(|m| m.contains("failure reconciliation")));
+    }
+
+    #[test]
+    fn monotonic_watch_counts_decreases() {
+        let mut w = MonotonicWatch::new();
+        w.observe(&[1, 2, 3]);
+        w.observe(&[2, 2, 3]);
+        assert_eq!(w.violations(), 0);
+        w.observe(&[1, 2, 4]); // first counter rewound
+        assert_eq!(w.violations(), 1);
+        w.reset();
+        w.observe(&[0, 0, 0]); // re-baselined: not a violation
+        assert_eq!(w.violations(), 1);
+    }
+}

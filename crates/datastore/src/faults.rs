@@ -3,7 +3,12 @@
 //! The paper stresses that MuMMI "can be restored completely after any such
 //! crash without much loss of data". [`FailingStore`] wraps any backend and
 //! fails operations on a deterministic schedule so tests can exercise the
-//! retry/armoring and producer/consumer wait paths.
+//! retry/armoring and producer/consumer wait paths. [`ScheduledFaultStore`]
+//! generalizes it from a fixed period to virtual-time fault windows (the
+//! form serialized in `chaos` fault plans): inside a window, the targeted
+//! operation fails periodically and is slowed by a configured latency.
+
+use simcore::{SimDuration, SimTime};
 
 use crate::store::{BackendKind, DataStore};
 use crate::{DataError, Result};
@@ -23,16 +28,52 @@ pub enum Op {
     Flush,
 }
 
+/// Number of [`Op`] variants (size of per-op counter arrays).
+pub const OP_COUNT: usize = 5;
+
+impl Op {
+    /// Stable label (used by serialized fault plans).
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Write => "write",
+            Op::Read => "read",
+            Op::MoveNs => "move_ns",
+            Op::Delete => "delete",
+            Op::Flush => "flush",
+        }
+    }
+
+    /// The inverse of [`Op::label`].
+    pub fn from_label(label: &str) -> Option<Op> {
+        match label {
+            "write" => Some(Op::Write),
+            "read" => Some(Op::Read),
+            "move_ns" => Some(Op::MoveNs),
+            "delete" => Some(Op::Delete),
+            "flush" => Some(Op::Flush),
+            _ => None,
+        }
+    }
+}
+
 /// A wrapper that fails every `period`-th call of the targeted operation.
 ///
-/// With `period == 3`, calls 3, 6, 9, … fail. A `period` of 0 disables
-/// injection. Counting is per-operation-kind and deterministic.
+/// With `period == 3`, targeted calls 3, 6, 9, … fail. A `period` of 0
+/// disables injection.
+///
+/// Per-op counting semantics: **every** fallible call — `write`, `read`,
+/// `move_ns`, `delete`, `flush` — increments its own slot in
+/// [`FailingStore::op_counts`] exactly once per call, whether or not the
+/// op is the injection target. The failure schedule is driven solely by
+/// the targeted op's own counter, so untargeted traffic never shifts it,
+/// and `injected()` always equals `op_counts()[target] / period`
+/// (integer division).
 #[derive(Debug)]
 pub struct FailingStore<S> {
     inner: S,
     target: Op,
     period: u64,
-    counts: [u64; 5],
+    counts: [u64; OP_COUNT],
     injected: u64,
 }
 
@@ -43,7 +84,7 @@ impl<S: DataStore> FailingStore<S> {
             inner,
             target,
             period,
-            counts: [0; 5],
+            counts: [0; OP_COUNT],
             injected: 0,
         }
     }
@@ -51,6 +92,18 @@ impl<S: DataStore> FailingStore<S> {
     /// Number of faults injected so far.
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Calls observed per op, indexed by `Op as usize`. Every fallible
+    /// call is counted, targeted or not.
+    pub fn op_counts(&self) -> [u64; OP_COUNT] {
+        self.counts
+    }
+
+    /// Calls observed for one op. (Named `op_count` so it cannot shadow
+    /// the [`DataStore::count`] trait method on the wrapper.)
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.counts[op as usize]
     }
 
     /// Consumes the wrapper, returning the inner store.
@@ -64,11 +117,11 @@ impl<S: DataStore> FailingStore<S> {
     }
 
     fn should_fail(&mut self, op: Op) -> bool {
+        let slot = op as usize;
+        self.counts[slot] += 1;
         if op != self.target || self.period == 0 {
             return false;
         }
-        let slot = op as usize;
-        self.counts[slot] += 1;
         if self.counts[slot].is_multiple_of(self.period) {
             self.injected += 1;
             true
@@ -83,6 +136,175 @@ impl<S: DataStore> FailingStore<S> {
 }
 
 impl<S: DataStore> DataStore for FailingStore<S> {
+    fn kind(&self) -> BackendKind {
+        self.inner.kind()
+    }
+
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
+        if self.should_fail(Op::Write) {
+            return Err(Self::fault(Op::Write));
+        }
+        self.inner.write(ns, key, data)
+    }
+
+    fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
+        if self.should_fail(Op::Read) {
+            return Err(Self::fault(Op::Read));
+        }
+        self.inner.read(ns, key)
+    }
+
+    fn exists(&mut self, ns: &str, key: &str) -> bool {
+        self.inner.exists(ns, key)
+    }
+
+    fn list(&mut self, ns: &str) -> Result<Vec<String>> {
+        self.inner.list(ns)
+    }
+
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()> {
+        if self.should_fail(Op::MoveNs) {
+            return Err(Self::fault(Op::MoveNs));
+        }
+        self.inner.move_ns(key, from, to)
+    }
+
+    fn delete(&mut self, ns: &str, key: &str) -> Result<bool> {
+        if self.should_fail(Op::Delete) {
+            return Err(Self::fault(Op::Delete));
+        }
+        self.inner.delete(ns, key)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.should_fail(Op::Flush) {
+            return Err(Self::fault(Op::Flush));
+        }
+        self.inner.flush()
+    }
+}
+
+/// One scheduled fault window: between `from` (inclusive) and `until`
+/// (exclusive) in virtual time, every `period`-th call of `op` fails, and
+/// every call of `op` is charged `extra_latency` of virtual I/O delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// The targeted operation.
+    pub op: Op,
+    /// Fail every `period`-th targeted call made inside the window
+    /// (counted on the window's own counter; 0 = latency only).
+    pub period: u64,
+    /// Virtual latency added to each targeted call inside the window.
+    pub extra_latency: SimDuration,
+}
+
+impl FaultWindow {
+    fn active(&self, now: SimTime, op: Op) -> bool {
+        self.op == op && self.from <= now && now < self.until
+    }
+}
+
+/// A wrapper driven by virtual time: the owner advances the clock with
+/// [`ScheduledFaultStore::set_now`] and the wrapper applies whichever
+/// [`FaultWindow`]s are open. With no windows it is an exact passthrough,
+/// so a campaign can always run behind it.
+///
+/// Counting follows [`FailingStore`] semantics: every fallible call
+/// increments its per-op counter exactly once; each window additionally
+/// counts the targeted calls it saw, drives its failure schedule from
+/// that private counter, and the totals satisfy
+/// `injected() == Σ_w (window_hits(w) / period(w))`.
+#[derive(Debug)]
+pub struct ScheduledFaultStore<S> {
+    inner: S,
+    windows: Vec<FaultWindow>,
+    /// Targeted calls observed per window (drives its schedule).
+    window_hits: Vec<u64>,
+    now: SimTime,
+    counts: [u64; OP_COUNT],
+    injected: u64,
+    delayed: u64,
+    delay_total: SimDuration,
+}
+
+impl<S: DataStore> ScheduledFaultStore<S> {
+    /// Wraps `inner` with a schedule of fault windows.
+    pub fn new(inner: S, windows: Vec<FaultWindow>) -> ScheduledFaultStore<S> {
+        let window_hits = vec![0; windows.len()];
+        ScheduledFaultStore {
+            inner,
+            windows,
+            window_hits,
+            now: SimTime::ZERO,
+            counts: [0; OP_COUNT],
+            injected: 0,
+            delayed: 0,
+            delay_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Advances the wrapper's virtual clock (call once per driver tick).
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// (calls delayed, total virtual delay charged) by latency spikes.
+    pub fn delayed(&self) -> (u64, SimDuration) {
+        (self.delayed, self.delay_total)
+    }
+
+    /// Calls observed per op, indexed by `Op as usize`.
+    pub fn op_counts(&self) -> [u64; OP_COUNT] {
+        self.counts
+    }
+
+    /// Consumes the wrapper, returning the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Direct access to the wrapped store.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    fn should_fail(&mut self, op: Op) -> bool {
+        self.counts[op as usize] += 1;
+        let mut fail = false;
+        for (i, w) in self.windows.iter().enumerate() {
+            if !w.active(self.now, op) {
+                continue;
+            }
+            self.window_hits[i] += 1;
+            if w.extra_latency > SimDuration::ZERO {
+                self.delayed += 1;
+                self.delay_total += w.extra_latency;
+            }
+            if w.period > 0 && self.window_hits[i].is_multiple_of(w.period) {
+                fail = true;
+            }
+        }
+        if fail {
+            self.injected += 1;
+        }
+        fail
+    }
+
+    fn fault(op: Op) -> DataError {
+        DataError::Injected(format!("windowed fault on {op:?}"))
+    }
+}
+
+impl<S: DataStore> DataStore for ScheduledFaultStore<S> {
     fn kind(&self) -> BackendKind {
         self.inner.kind()
     }
@@ -157,6 +379,7 @@ mod tests {
             assert!(s.write("ns", &format!("k{i}"), b"v").is_ok());
         }
         assert_eq!(s.injected(), 0);
+        assert_eq!(s.op_count(Op::Write), 10, "untargeted counting still exact");
     }
 
     #[test]
@@ -166,6 +389,38 @@ mod tests {
         assert!(matches!(s.read("ns", "k"), Err(DataError::Injected(_))));
         // Untargeted ops pass through.
         assert!(s.delete("ns", "k").is_ok());
+    }
+
+    #[test]
+    fn every_op_is_counted_exactly_once_per_call() {
+        let mut s = FailingStore::new(KvDataStore::new(2), Op::Read, 0);
+        s.write("a", "k", b"v").unwrap();
+        s.write("a", "k2", b"v").unwrap();
+        s.read("a", "k").unwrap();
+        s.move_ns("k", "a", "b").unwrap();
+        s.delete("b", "k").unwrap();
+        s.flush().unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.op_counts(), [2, 1, 1, 1, 2]);
+        assert_eq!(s.op_count(Op::Flush), 2);
+        assert_eq!(s.op_count(Op::MoveNs), 1);
+    }
+
+    #[test]
+    fn untargeted_traffic_does_not_shift_the_schedule() {
+        // flush/move_ns between writes must not advance the Write schedule.
+        let mut with_noise = FailingStore::new(KvDataStore::new(2), Op::Write, 2);
+        let mut quiet = FailingStore::new(KvDataStore::new(2), Op::Write, 2);
+        let mut noisy_results = Vec::new();
+        let mut quiet_results = Vec::new();
+        for i in 0..6 {
+            with_noise.flush().unwrap();
+            let _ = with_noise.move_ns("nope", "a", "b");
+            noisy_results.push(with_noise.write("ns", &format!("k{i}"), b"v").is_ok());
+            quiet_results.push(quiet.write("ns", &format!("k{i}"), b"v").is_ok());
+        }
+        assert_eq!(noisy_results, quiet_results);
+        assert_eq!(with_noise.injected(), quiet.injected());
     }
 
     #[test]
@@ -186,5 +441,135 @@ mod tests {
         };
         assert_eq!(val, b"v");
         assert!(attempts >= 2);
+    }
+
+    #[test]
+    fn window_fails_only_inside_its_span() {
+        let w = FaultWindow {
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+            op: Op::Read,
+            period: 1,
+            extra_latency: SimDuration::ZERO,
+        };
+        let mut s = ScheduledFaultStore::new(KvDataStore::new(2), vec![w]);
+        s.write("ns", "k", b"v").unwrap();
+        s.set_now(SimTime::from_secs(5));
+        assert!(s.read("ns", "k").is_ok(), "before the window");
+        s.set_now(SimTime::from_secs(10));
+        assert!(s.read("ns", "k").is_err(), "window start is inclusive");
+        s.set_now(SimTime::from_secs(19));
+        assert!(s.read("ns", "k").is_err(), "inside the window");
+        s.set_now(SimTime::from_secs(20));
+        assert!(s.read("ns", "k").is_ok(), "window end is exclusive");
+        assert_eq!(s.injected(), 2);
+        assert_eq!(s.op_counts()[Op::Read as usize], 4);
+        assert_eq!(s.op_counts()[Op::Write as usize], 1);
+    }
+
+    #[test]
+    fn window_period_counts_only_window_traffic() {
+        let w = FaultWindow {
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+            op: Op::Write,
+            period: 2,
+            extra_latency: SimDuration::ZERO,
+        };
+        let mut s = ScheduledFaultStore::new(KvDataStore::new(2), vec![w]);
+        // Heavy traffic before the window must not pre-advance the period.
+        for i in 0..7 {
+            s.write("ns", &format!("pre{i}"), b"v").unwrap();
+        }
+        s.set_now(SimTime::from_secs(10));
+        assert!(s.write("ns", "w1", b"v").is_ok(), "1st window call passes");
+        assert!(s.write("ns", "w2", b"v").is_err(), "2nd window call fails");
+        assert!(s.write("ns", "w3", b"v").is_ok());
+        assert!(s.write("ns", "w4", b"v").is_err());
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn latency_only_window_delays_without_failing() {
+        let w = FaultWindow {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(100),
+            op: Op::Read,
+            period: 0,
+            extra_latency: SimDuration::from_millis(7),
+        };
+        let mut s = ScheduledFaultStore::new(KvDataStore::new(2), vec![w]);
+        s.write("ns", "k", b"v").unwrap();
+        for _ in 0..3 {
+            assert!(s.read("ns", "k").is_ok());
+        }
+        assert_eq!(s.injected(), 0);
+        let (n, total) = s.delayed();
+        assert_eq!(n, 3);
+        assert_eq!(total, SimDuration::from_millis(21));
+    }
+
+    #[test]
+    fn no_windows_is_exact_passthrough() {
+        let mut s = ScheduledFaultStore::new(KvDataStore::new(2), Vec::new());
+        for i in 0..20 {
+            assert!(s.write("ns", &format!("k{i}"), b"v").is_ok());
+            assert!(s.read("ns", &format!("k{i}")).is_ok());
+        }
+        assert_eq!(s.injected(), 0);
+        assert_eq!(s.delayed().0, 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::kv::KvDataStore;
+    use proptest::prelude::*;
+
+    fn is_injected(s: &mut FailingStore<KvDataStore>, op: Op, i: usize) -> bool {
+        let key = format!("k{i}");
+        let r = match op {
+            Op::Write => s.write("ns", &key, b"v").err(),
+            Op::Read => s.read("ns", &key).err(),
+            Op::MoveNs => s.move_ns(&key, "ns", "ns2").err(),
+            Op::Delete => s.delete("ns", &key).err(),
+            Op::Flush => s.flush().err(),
+        };
+        matches!(r, Some(DataError::Injected(_)))
+    }
+
+    proptest! {
+        /// Over arbitrary op sequences: per-op counts equal occurrence
+        /// counts, and injected-failure totals are exactly
+        /// `count(target) / period`, independent of interleaving.
+        #[test]
+        fn counts_and_injections_are_exact(
+            ops in proptest::collection::vec(0usize..5, 0..120),
+            target in 0usize..5,
+            period in 0u64..5,
+        ) {
+            let all = [Op::Write, Op::Read, Op::MoveNs, Op::Delete, Op::Flush];
+            let target = all[target];
+            let mut s = FailingStore::new(KvDataStore::new(2), target, period);
+            let mut expected = [0u64; OP_COUNT];
+            let mut injected = 0u64;
+            for (i, &oi) in ops.iter().enumerate() {
+                let op = all[oi];
+                expected[op as usize] += 1;
+                let was_injected = is_injected(&mut s, op, i);
+                let should = op == target
+                    && period > 0
+                    && expected[op as usize].is_multiple_of(period);
+                prop_assert_eq!(was_injected, should, "call {} of {:?}", i, op);
+                if was_injected {
+                    injected += 1;
+                }
+            }
+            prop_assert_eq!(s.op_counts(), expected);
+            prop_assert_eq!(s.injected(), injected);
+            let quota = expected[target as usize].checked_div(period).unwrap_or(0);
+            prop_assert_eq!(s.injected(), quota);
+        }
     }
 }

@@ -47,7 +47,7 @@ mod store;
 mod tar;
 mod tiered;
 
-pub use faults::FailingStore;
+pub use faults::{FailingStore, FaultWindow, Op, ScheduledFaultStore, OP_COUNT};
 pub use fs::FsStore;
 pub use kv::KvDataStore;
 pub use store::{BackendKind, DataStore};

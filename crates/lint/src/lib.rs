@@ -167,7 +167,7 @@ impl Config {
 }
 
 /// Crates whose non-test code must be free of `unwrap()`/`expect()` (L4).
-pub const COORDINATION_CRATES: &[&str] = &["sched", "mummi-core", "campaign", "datastore"];
+pub const COORDINATION_CRATES: &[&str] = &["sched", "mummi-core", "campaign", "datastore", "chaos"];
 
 /// Crates whose non-test code must not use order-nondeterministic
 /// containers (L3). `taridx` and `datastore` are here because listing
@@ -182,6 +182,7 @@ pub const ORDERED_CRATES: &[&str] = &[
     "taridx",
     "datastore",
     "trace",
+    "chaos",
 ];
 
 const L1_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "Utc::now", "Local::now"];

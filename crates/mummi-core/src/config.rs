@@ -37,6 +37,15 @@ pub struct WmConfig {
     pub aa_setup_runtime: SimDuration,
     /// Probability that any job fails and must be resubmitted.
     pub job_failure_prob: f64,
+    /// Resubmission budget per payload (failures and timeouts both spend
+    /// it); beyond it the payload is abandoned with a terminal
+    /// `wm.gave_up` event instead of looping forever.
+    pub max_resubmits: u32,
+    /// Job-timeout watchdog: a placed job that has run longer than this
+    /// multiple of its submitted runtime is presumed hung, canceled, and
+    /// resubmitted (§4.4 "jobs may hang"). `0.0` disables the watchdog.
+    /// Use a value `> 1` so healthy jobs always finish first.
+    pub job_timeout_grace: f64,
     /// Record selector mutation histories for exact replay on restart
     /// (§4.4). Costs memory proportional to live candidates; large
     /// campaign simulations that manage restart state themselves turn
@@ -61,6 +70,8 @@ impl Default for WmConfig {
             cg_setup_runtime: SimDuration::from_mins(90),
             aa_setup_runtime: SimDuration::from_mins(120),
             job_failure_prob: 0.01,
+            max_resubmits: 3,
+            job_timeout_grace: 0.0,
             record_history: true,
             seed: 1,
         }
@@ -84,6 +95,8 @@ impl WmConfig {
             cg_setup_runtime: SimDuration::from_mins(5),
             aa_setup_runtime: SimDuration::from_mins(8),
             job_failure_prob: 0.0,
+            max_resubmits: 3,
+            job_timeout_grace: 0.0,
             record_history: true,
             seed: 7,
         }

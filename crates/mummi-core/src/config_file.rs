@@ -145,6 +145,12 @@ impl WmConfig {
                 "job_failure_prob" => {
                     cfg.job_failure_prob = value.parse().map_err(|_| bad("expected a float"))?;
                 }
+                "max_resubmits" => {
+                    cfg.max_resubmits = value.parse().map_err(|_| bad("expected an integer"))?;
+                }
+                "job_timeout_grace" => {
+                    cfg.job_timeout_grace = value.parse().map_err(|_| bad("expected a float"))?;
+                }
                 "record_history" => {
                     cfg.record_history = value.parse().map_err(|_| bad("expected true/false"))?;
                 }

@@ -40,8 +40,10 @@ pub use feedback::{
     AaToCgFeedback, CgParams, CgToContinuumFeedback, FeedbackManager, FeedbackOutcome,
 };
 pub use patches::PatchCreator;
-pub use tracker::{JobTracker, TrackerConfig};
-pub use wm::{WmCheckpoint, WmEvent, WmStats, WorkflowManager};
+pub use tracker::{JobTracker, Tracked, TrackerConfig};
+pub use wm::{
+    CheckpointError, RuntimeModel, TrackerTotals, WmCheckpoint, WmEvent, WmStats, WorkflowManager,
+};
 
 /// Namespace names used by the three-scale campaign's data flows.
 pub mod ns {

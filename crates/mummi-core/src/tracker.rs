@@ -75,15 +75,27 @@ pub enum Tracked {
     },
 }
 
+/// Bookkeeping for one in-flight job: its payload plus what the tracker
+/// needs to notice a hang (when it was placed and how long it should run).
+#[derive(Debug, Clone)]
+struct LiveJob {
+    payload: String,
+    /// Set when the scheduler reports placement.
+    placed_at: Option<SimTime>,
+    /// The virtual runtime the job was submitted with.
+    runtime: SimDuration,
+}
+
 /// Tracks one class of jobs end to end.
 #[derive(Debug)]
 pub struct JobTracker {
     cfg: TrackerConfig,
-    live: BTreeMap<JobId, String>,
+    live: BTreeMap<JobId, LiveJob>,
     attempts: BTreeMap<String, u32>,
     submitted: u64,
     completed: u64,
     failed: u64,
+    timed_out: u64,
 }
 
 impl JobTracker {
@@ -96,6 +108,7 @@ impl JobTracker {
             submitted: 0,
             completed: 0,
             failed: 0,
+            timed_out: 0,
         }
     }
 
@@ -107,6 +120,11 @@ impl JobTracker {
     /// (submitted, completed, failed) counters.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.submitted, self.completed, self.failed)
+    }
+
+    /// Jobs canceled by the timeout watchdog ([`JobTracker::expire_overdue`]).
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
     }
 
     /// Jobs currently live (submitted or running) under this tracker.
@@ -152,10 +170,63 @@ impl JobTracker {
             spec = spec.failing();
         }
         let id = launcher.submit(spec, at);
-        self.live.insert(id, payload.to_string());
+        self.live.insert(
+            id,
+            LiveJob {
+                payload: payload.to_string(),
+                placed_at: None,
+                runtime,
+            },
+        );
         *self.attempts.entry(payload.to_string()).or_insert(0) += 1;
         self.submitted += 1;
         id
+    }
+
+    /// The timeout watchdog: cancels placed jobs that have overstayed
+    /// `grace` times their submitted runtime (a hung job never reports
+    /// completion, so the scheduler alone cannot reclaim it — §4.4's
+    /// "jobs may hang" failure). Canceled payloads are resubmitted under
+    /// the usual budget; the returned [`Tracked`]s describe what happened.
+    /// With `grace > 1` a healthy job always finishes first, so only
+    /// genuinely hung jobs expire.
+    pub fn expire_overdue(
+        &mut self,
+        launcher: &mut dyn Launcher,
+        now: SimTime,
+        grace: f64,
+        rng: &mut StdRng,
+    ) -> Vec<Tracked> {
+        let overdue: Vec<JobId> = self
+            .live
+            .iter()
+            .filter(|(_, job)| {
+                job.placed_at
+                    .is_some_and(|p| now.since(p) > job.runtime.mul_f64(grace))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::new();
+        for id in overdue {
+            launcher.cancel(id);
+            let Some(job) = self.live.remove(&id) else {
+                continue;
+            };
+            self.timed_out += 1;
+            let payload = job.payload;
+            let attempt = self.attempts.get(&payload).copied().unwrap_or(0);
+            if attempt <= self.cfg.max_resubmits {
+                self.submit(launcher, &payload, now, rng);
+                out.push(Tracked::Resubmitted {
+                    payload,
+                    attempt: attempt + 1,
+                });
+            } else {
+                self.attempts.remove(&payload);
+                out.push(Tracked::Abandoned { payload });
+            }
+        }
+        out
     }
 
     /// Routes a scheduler event owned by this tracker. Returns `None` for
@@ -168,12 +239,16 @@ impl JobTracker {
         rng: &mut StdRng,
     ) -> Option<Tracked> {
         match *event {
-            JobEvent::Placed { id, .. } => {
-                let payload = self.live.get(&id)?.clone();
-                Some(Tracked::Started { job: id, payload })
+            JobEvent::Placed { id, at } => {
+                let job = self.live.get_mut(&id)?;
+                job.placed_at = Some(at);
+                Some(Tracked::Started {
+                    job: id,
+                    payload: job.payload.clone(),
+                })
             }
             JobEvent::Finished { id, at, success } => {
-                let payload = self.live.remove(&id)?;
+                let payload = self.live.remove(&id)?.payload;
                 if success {
                     self.completed += 1;
                     self.attempts.remove(&payload);
@@ -295,6 +370,85 @@ mod tests {
         assert_eq!(resubmits, 2, "budget of 2 resubmits");
         assert!(abandoned, "payload finally abandoned");
         assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn hung_jobs_expire_and_resubmit() {
+        let mut l = launcher(1);
+        let mut t = sim_tracker(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let id = t.submit(&mut l, "patch-7", SimTime::ZERO, &mut rng);
+        for e in l.poll(SimTime::from_secs(1)) {
+            t.on_event(&mut l, &e, &mut rng);
+        }
+        l.hang_running(JobClass::CgSim, SimTime::from_mins(1));
+
+        // Within 1.5x the 10-min runtime nothing expires.
+        let none = t.expire_overdue(&mut l, SimTime::from_mins(12), 1.5, &mut rng);
+        assert!(none.is_empty());
+        // Past the grace window the hung job is canceled and resubmitted.
+        let tracked = t.expire_overdue(&mut l, SimTime::from_mins(16), 1.5, &mut rng);
+        assert_eq!(
+            tracked,
+            vec![Tracked::Resubmitted {
+                payload: "patch-7".into(),
+                attempt: 2
+            }]
+        );
+        assert_eq!(l.state(id), Some(sched::JobState::Canceled));
+        assert_eq!(t.timed_out(), 1);
+        assert_eq!(t.live_count(), 1, "replacement job is live");
+        // The replacement runs to completion (the node is healthy).
+        for e in l.poll(SimTime::from_mins(40)) {
+            t.on_event(&mut l, &e, &mut rng);
+        }
+        assert_eq!(t.counters(), (2, 1, 0));
+    }
+
+    #[test]
+    fn perpetually_hung_payload_is_abandoned() {
+        let mut l = launcher(1);
+        let mut t = JobTracker::new(TrackerConfig {
+            max_resubmits: 2,
+            ..TrackerConfig::new(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                SimDuration::from_mins(10),
+            )
+        });
+        let mut rng = StdRng::seed_from_u64(6);
+        t.submit(&mut l, "cursed", SimTime::ZERO, &mut rng);
+        let mut resubmits = 0;
+        let mut abandoned = false;
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now += SimDuration::from_mins(1);
+            for e in l.poll(now) {
+                t.on_event(&mut l, &e, &mut rng);
+            }
+            l.hang_running(JobClass::CgSim, now);
+            now += SimDuration::from_mins(30);
+            for e in l.poll(now) {
+                t.on_event(&mut l, &e, &mut rng);
+            }
+            for tracked in t.expire_overdue(&mut l, now, 1.5, &mut rng) {
+                match tracked {
+                    Tracked::Resubmitted { .. } => resubmits += 1,
+                    Tracked::Abandoned { payload } => {
+                        assert_eq!(payload, "cursed");
+                        abandoned = true;
+                    }
+                    _ => {}
+                }
+            }
+            if abandoned {
+                break;
+            }
+        }
+        assert_eq!(resubmits, 2, "budget of 2 resubmits");
+        assert!(abandoned, "payload can never loop forever");
+        assert_eq!(t.live_count(), 0);
+        assert_eq!(t.timed_out(), 3);
     }
 
     #[test]

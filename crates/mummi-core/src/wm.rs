@@ -79,6 +79,14 @@ pub enum WmEvent {
         /// Application payload.
         payload: String,
     },
+    /// A payload exhausted its resubmission budget and was permanently
+    /// given up on (terminal — it will never be submitted again).
+    JobAbandoned {
+        /// Which class gave up.
+        class: JobClass,
+        /// Application payload.
+        payload: String,
+    },
     /// CG→continuum feedback produced updated coupling parameters.
     CouplingUpdated(CouplingParams),
     /// AA→CG feedback produced updated CG parameters.
@@ -108,6 +116,10 @@ pub struct WmStats {
     pub feedback_iterations: u64,
     /// Frames folded in by feedback (both kinds).
     pub feedback_frames: u64,
+    /// Jobs canceled by the timeout watchdog (presumed hung).
+    pub jobs_timed_out: u64,
+    /// Payloads permanently abandoned after exhausting resubmits.
+    pub jobs_abandoned: u64,
 }
 
 /// The workflow manager.
@@ -166,6 +178,7 @@ impl<L: Launcher> WorkflowManager<L> {
             JobTracker::new(TrackerConfig {
                 runtime_jitter: 0.2,
                 failure_prob: cfg.job_failure_prob,
+                max_resubmits: cfg.max_resubmits,
                 ..TrackerConfig::new(class, shape, runtime)
             })
         };
@@ -235,6 +248,35 @@ impl<L: Launcher> WorkflowManager<L> {
         self.stats
     }
 
+    /// Aggregate accounting over all four job trackers, for end-of-run
+    /// reconciliation against the scheduler's own counters.
+    pub fn tracker_totals(&self) -> TrackerTotals {
+        let mut t = TrackerTotals::default();
+        for tr in [&self.cg_setup, &self.cg_sim, &self.aa_setup, &self.aa_sim] {
+            let (s, c, f) = tr.counters();
+            t.submitted += s;
+            t.completed += c;
+            t.failed += f;
+            t.timed_out += tr.timed_out();
+            t.live += tr.live_count() as u64;
+        }
+        t
+    }
+
+    /// The next feedback and profile due-times, for carrying the cadence
+    /// across a WM crash within one allocation (deliberately not part of
+    /// [`WmCheckpoint`]: a restore on a *new* allocation starts its
+    /// cadence from that allocation's own clock).
+    pub fn cadence(&self) -> (SimTime, SimTime) {
+        (self.next_feedback, self.next_profile)
+    }
+
+    /// Restores the feedback/profile cadence (see [`WorkflowManager::cadence`]).
+    pub fn set_cadence(&mut self, next_feedback: SimTime, next_profile: SimTime) {
+        self.next_feedback = next_feedback;
+        self.next_profile = next_profile;
+    }
+
     /// The occupancy profiler (Figure 5 source data).
     pub fn profiler(&self) -> &OccupancyProfiler {
         &self.profiler
@@ -291,6 +333,7 @@ impl<L: Launcher> WorkflowManager<L> {
         self.tracer.instant_at(now, "wm", "wm.tick", &[]);
         let mut events = Vec::new();
         self.poll_jobs(now, &mut events);
+        self.expire_hung_jobs(now, &mut events);
         self.maintain_sims(now, &mut events);
         self.maintain_setups(now);
         self.run_feedback(now, store, &mut events);
@@ -319,6 +362,9 @@ impl<L: Launcher> WorkflowManager<L> {
                             payload,
                         });
                     }
+                    Tracked::Abandoned { payload } => {
+                        self.give_up(now, JobClass::CgSetup, payload, events);
+                    }
                     _ => {}
                 }
                 continue;
@@ -343,7 +389,9 @@ impl<L: Launcher> WorkflowManager<L> {
                             payload,
                         });
                     }
-                    Tracked::Abandoned { .. } => {}
+                    Tracked::Abandoned { payload } => {
+                        self.give_up(now, JobClass::CgSim, payload, events);
+                    }
                 }
                 continue;
             }
@@ -362,6 +410,9 @@ impl<L: Launcher> WorkflowManager<L> {
                             class: JobClass::AaSetup,
                             payload,
                         });
+                    }
+                    Tracked::Abandoned { payload } => {
+                        self.give_up(now, JobClass::AaSetup, payload, events);
                     }
                     _ => {}
                 }
@@ -387,10 +438,90 @@ impl<L: Launcher> WorkflowManager<L> {
                             payload,
                         });
                     }
-                    Tracked::Abandoned { .. } => {}
+                    Tracked::Abandoned { payload } => {
+                        self.give_up(now, JobClass::AaSim, payload, events);
+                    }
                 }
             }
         }
+    }
+
+    /// The §4.4 hang watchdog: cancel-and-resubmit any placed job that
+    /// has overstayed `job_timeout_grace` times its submitted runtime.
+    /// Disabled when the grace factor is zero.
+    fn expire_hung_jobs(&mut self, now: SimTime, events: &mut Vec<WmEvent>) {
+        if self.cfg.job_timeout_grace <= 0.0 {
+            return;
+        }
+        let grace = self.cfg.job_timeout_grace;
+        // Iterate trackers in a fixed order (determinism contract).
+        for which in 0..4usize {
+            let tracker = match which {
+                0 => &mut self.cg_setup,
+                1 => &mut self.cg_sim,
+                2 => &mut self.aa_setup,
+                _ => &mut self.aa_sim,
+            };
+            let class = tracker.class();
+            let expired = tracker.expire_overdue(&mut self.launcher, now, grace, &mut self.rng);
+            for tracked in expired {
+                self.stats.jobs_timed_out += 1;
+                match tracked {
+                    Tracked::Resubmitted { payload, attempt } => {
+                        self.tracer.instant_at(
+                            now,
+                            "wm",
+                            "wm.timeout",
+                            &[
+                                ("class", class.label().into()),
+                                ("payload", payload.as_str().into()),
+                                ("attempt", attempt.into()),
+                            ],
+                        );
+                        self.tracer.counter_add("wm.timeouts", 1);
+                        events.push(WmEvent::JobResubmitted { class, payload });
+                    }
+                    Tracked::Abandoned { payload } => {
+                        self.tracer.instant_at(
+                            now,
+                            "wm",
+                            "wm.timeout",
+                            &[
+                                ("class", class.label().into()),
+                                ("payload", payload.as_str().into()),
+                            ],
+                        );
+                        self.tracer.counter_add("wm.timeouts", 1);
+                        self.give_up(now, class, payload, events);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Terminal abandonment: the payload exhausted its budget and will
+    /// never be submitted again. Recorded as the `wm.gave_up` trace event
+    /// so lost work is visible rather than silently dropped.
+    fn give_up(
+        &mut self,
+        now: SimTime,
+        class: JobClass,
+        payload: String,
+        events: &mut Vec<WmEvent>,
+    ) {
+        self.stats.jobs_abandoned += 1;
+        self.tracer.instant_at(
+            now,
+            "wm",
+            "wm.gave_up",
+            &[
+                ("class", class.label().into()),
+                ("payload", payload.as_str().into()),
+            ],
+        );
+        self.tracer.counter_add("wm.gave_up", 1);
+        events.push(WmEvent::JobAbandoned { class, payload });
     }
 
     /// Records one failed-and-resubmitted job on the trace.
@@ -679,6 +810,21 @@ impl<L: Launcher> WorkflowManager<L> {
     }
 }
 
+/// Aggregate accounting over the WM's four job trackers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackerTotals {
+    /// Jobs submitted (including resubmissions).
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that finished as failures.
+    pub failed: u64,
+    /// Jobs canceled by the timeout watchdog.
+    pub timed_out: u64,
+    /// Jobs still live (submitted or running).
+    pub live: u64,
+}
+
 /// Restartable WM state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WmCheckpoint {
@@ -694,12 +840,70 @@ pub struct WmCheckpoint {
     pub frame_history: String,
 }
 
+/// A typed error from [`WmCheckpoint::from_text`], carrying the offending
+/// line so a corrupt checkpoint names its own problem instead of silently
+/// restoring half a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The raw line.
+        content: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The `stats` section appeared more than once.
+    DuplicateStats {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+    },
+    /// No `stats` section was found.
+    MissingStats,
+    /// The trailing `end <count>` line is missing (truncated file).
+    MissingFooter,
+    /// The footer count disagrees with the body lines actually present.
+    CountMismatch {
+        /// Lines the footer promised.
+        expected: usize,
+        /// Lines actually parsed.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadLine {
+                line,
+                content,
+                reason,
+            } => write!(f, "checkpoint line {line}: {reason}: `{content}`"),
+            CheckpointError::DuplicateStats { line } => {
+                write!(f, "checkpoint line {line}: duplicated stats section")
+            }
+            CheckpointError::MissingStats => write!(f, "checkpoint has no stats line"),
+            CheckpointError::MissingFooter => {
+                write!(f, "checkpoint missing `end <count>` footer (truncated?)")
+            }
+            CheckpointError::CountMismatch { expected, actual } => write!(
+                f,
+                "checkpoint footer promised {expected} body lines, found {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 impl WmCheckpoint {
-    /// Serializes to a line-oriented text format.
+    /// Serializes to a line-oriented text format, ending with a counted
+    /// `end` footer so truncation is detectable.
     pub fn to_text(&self) -> String {
         let s = &self.stats;
         let mut out = format!(
-            "stats {} {} {} {} {} {} {} {} {} {}\n",
+            "stats {} {} {} {} {} {} {} {} {} {} {} {}\n",
             s.patches_ingested,
             s.frames_ingested,
             s.cg_selected,
@@ -710,41 +914,63 @@ impl WmCheckpoint {
             s.aa_sims_completed,
             s.feedback_iterations,
             s.feedback_frames,
+            s.jobs_timed_out,
+            s.jobs_abandoned,
         );
+        let mut body = 1usize;
         for id in &self.cg_ready {
             out.push_str(&format!("cg {id}\n"));
+            body += 1;
         }
         for id in &self.aa_ready {
             out.push_str(&format!("aa {id}\n"));
+            body += 1;
         }
         for line in self.patch_history.lines() {
             out.push_str(&format!("ph {line}\n"));
+            body += 1;
         }
         for line in self.frame_history.lines() {
             out.push_str(&format!("fh {line}\n"));
+            body += 1;
         }
+        out.push_str(&format!("end {body}\n"));
         out
     }
 
-    /// Parses the text format; `None` on malformed input.
-    pub fn from_text(text: &str) -> Option<WmCheckpoint> {
-        let mut stats = WmStats::default();
+    /// Parses the text format, naming the offending line on failure.
+    pub fn from_text(text: &str) -> Result<WmCheckpoint, CheckpointError> {
+        let mut stats: Option<WmStats> = None;
         let mut cg_ready = Vec::new();
         let mut aa_ready = Vec::new();
         let mut patch_history = String::new();
         let mut frame_history = String::new();
-        for line in text.lines() {
-            let (tag, rest) = line.split_once(' ')?;
+        let mut body = 0usize;
+        let mut footer: Option<usize> = None;
+        for (idx, line) in text.lines().enumerate() {
+            let bad = |reason: &str| CheckpointError::BadLine {
+                line: idx + 1,
+                content: line.to_string(),
+                reason: reason.to_string(),
+            };
+            if footer.is_some() {
+                return Err(bad("content after `end` footer"));
+            }
+            let (tag, rest) = line.split_once(' ').ok_or_else(|| bad("missing tag"))?;
             match tag {
                 "stats" => {
+                    if stats.is_some() {
+                        return Err(CheckpointError::DuplicateStats { line: idx + 1 });
+                    }
                     let v: Vec<u64> = rest
                         .split(' ')
                         .map(|x| x.parse().ok())
-                        .collect::<Option<_>>()?;
-                    if v.len() != 10 {
-                        return None;
+                        .collect::<Option<_>>()
+                        .ok_or_else(|| bad("non-numeric stats field"))?;
+                    if v.len() != 12 {
+                        return Err(bad("stats needs exactly 12 fields"));
                     }
-                    stats = WmStats {
+                    stats = Some(WmStats {
                         patches_ingested: v[0],
                         frames_ingested: v[1],
                         cg_selected: v[2],
@@ -755,22 +981,51 @@ impl WmCheckpoint {
                         aa_sims_completed: v[7],
                         feedback_iterations: v[8],
                         feedback_frames: v[9],
-                    };
+                        jobs_timed_out: v[10],
+                        jobs_abandoned: v[11],
+                    });
+                    body += 1;
                 }
-                "cg" => cg_ready.push(rest.to_string()),
-                "aa" => aa_ready.push(rest.to_string()),
+                "cg" => {
+                    cg_ready.push(rest.to_string());
+                    body += 1;
+                }
+                "aa" => {
+                    aa_ready.push(rest.to_string());
+                    body += 1;
+                }
                 "ph" => {
+                    if History::from_text(rest).is_none() {
+                        return Err(bad("unreplayable patch-history record"));
+                    }
                     patch_history.push_str(rest);
                     patch_history.push('\n');
+                    body += 1;
                 }
                 "fh" => {
+                    if History::from_text(rest).is_none() {
+                        return Err(bad("unreplayable frame-history record"));
+                    }
                     frame_history.push_str(rest);
                     frame_history.push('\n');
+                    body += 1;
                 }
-                _ => return None,
+                "end" => {
+                    let n: usize = rest.parse().map_err(|_| bad("footer needs a line count"))?;
+                    footer = Some(n);
+                }
+                _ => return Err(bad("unknown checkpoint field")),
             }
         }
-        Some(WmCheckpoint {
+        let expected = footer.ok_or(CheckpointError::MissingFooter)?;
+        if expected != body {
+            return Err(CheckpointError::CountMismatch {
+                expected,
+                actual: body,
+            });
+        }
+        let stats = stats.ok_or(CheckpointError::MissingStats)?;
+        Ok(WmCheckpoint {
             stats,
             cg_ready,
             aa_ready,
@@ -922,6 +1177,67 @@ mod tests {
     }
 
     #[test]
+    fn permanently_failing_jobs_are_given_up_not_looped() {
+        // Every job fails; with a budget of 1 resubmit per payload the WM
+        // must abandon each payload after 2 attempts instead of
+        // resubmitting forever.
+        let mut cfg = WmConfig::test_scale();
+        cfg.job_failure_prob = 1.0;
+        cfg.max_resubmits = 1;
+        cfg.cg_setup_runtime = SimDuration::from_mins(2);
+        let mut m = wm(1, cfg);
+        let mut store = KvDataStore::new(4);
+        m.add_patch_candidates(patch_points(6, 0));
+        let events = drive(&mut m, &mut store, 8);
+        let abandoned = events
+            .iter()
+            .filter(|e| matches!(e, WmEvent::JobAbandoned { .. }))
+            .count();
+        assert!(abandoned > 0, "doomed payloads must be abandoned");
+        assert_eq!(m.stats().jobs_abandoned, abandoned as u64);
+        // Bounded submissions: each payload gets at most 2 attempts, and
+        // the selector holds only the 6 candidates we planted (plus any
+        // setup still in flight when time ran out).
+        let totals = m.tracker_totals();
+        assert!(
+            totals.submitted <= 2 * 6,
+            "submissions must be bounded by the budget: {totals:?}"
+        );
+        assert_eq!(m.stats().cg_sims_started, 0, "nothing ever sets up");
+    }
+
+    #[test]
+    fn hang_watchdog_recovers_stuck_sims() {
+        let mut cfg = WmConfig::test_scale();
+        cfg.job_timeout_grace = 1.5;
+        cfg.cg_sim_runtime = SimDuration::from_mins(10);
+        let mut m = wm(1, cfg);
+        let mut store = KvDataStore::new(4);
+        m.add_patch_candidates(patch_points(30, 0));
+        // Warm up until sims are running, then hang one.
+        let mut t = SimTime::ZERO;
+        while m.launcher().class_counts(JobClass::CgSim).0 == 0 {
+            t += m.cfg.poll_interval;
+            m.tick(t, &mut store);
+            assert!(t < SimTime::from_hours(4), "sims never started");
+        }
+        m.launcher_mut().hang_running(JobClass::CgSim, t);
+        // Drive long past the grace window; the watchdog must reclaim the
+        // GPU and the workflow must keep completing sims.
+        let end = t + SimDuration::from_hours(3);
+        while t < end {
+            t += m.cfg.poll_interval;
+            m.tick(t, &mut store);
+        }
+        assert!(m.stats().jobs_timed_out >= 1, "watchdog fired");
+        assert!(
+            m.stats().cg_sims_completed > 0,
+            "workflow kept making progress: {:?}",
+            m.stats()
+        );
+    }
+
+    #[test]
     fn profiler_records_occupancy_samples() {
         let mut m = wm(2, WmConfig::test_scale());
         let mut store = KvDataStore::new(4);
@@ -967,8 +1283,84 @@ mod tests {
 
     #[test]
     fn checkpoint_rejects_garbage() {
-        assert!(WmCheckpoint::from_text("bogus line").is_none());
-        assert!(WmCheckpoint::from_text("stats 1 2").is_none());
+        assert!(matches!(
+            WmCheckpoint::from_text("bogus line"),
+            Err(CheckpointError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            WmCheckpoint::from_text("stats 1 2"),
+            Err(CheckpointError::BadLine { line: 1, .. })
+        ));
+    }
+
+    /// A non-trivial checkpoint to corrupt: live buffers + histories.
+    fn populated_checkpoint() -> WmCheckpoint {
+        let mut m = wm(1, WmConfig::test_scale());
+        let mut store = KvDataStore::new(4);
+        m.add_patch_candidates(patch_points(30, 0));
+        drive(&mut m, &mut store, 1);
+        let ckpt = m.checkpoint();
+        assert!(!ckpt.patch_history.is_empty(), "want history to corrupt");
+        ckpt
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let text = populated_checkpoint().to_text();
+        // Drop the footer: the file looks complete but is not verifiable.
+        let without_footer: Vec<&str> = text.lines().take(text.lines().count() - 1).collect();
+        assert_eq!(
+            WmCheckpoint::from_text(&(without_footer.join("\n") + "\n")).unwrap_err(),
+            CheckpointError::MissingFooter
+        );
+        // Drop a body line but keep the footer: the count disagrees.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.remove(1);
+        assert!(matches!(
+            WmCheckpoint::from_text(&(lines.join("\n") + "\n")).unwrap_err(),
+            CheckpointError::CountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicated_stats_section_is_rejected() {
+        let text = populated_checkpoint().to_text();
+        let stats_line = text.lines().next().unwrap();
+        let doubled = format!("{stats_line}\n{text}");
+        assert!(matches!(
+            WmCheckpoint::from_text(&doubled).unwrap_err(),
+            CheckpointError::DuplicateStats { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn unknown_field_names_the_offending_line() {
+        let text = populated_checkpoint().to_text();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines.insert(2, "zz mystery".to_string());
+        match WmCheckpoint::from_text(&(lines.join("\n") + "\n")).unwrap_err() {
+            CheckpointError::BadLine {
+                line,
+                content,
+                reason,
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(content, "zz mystery");
+                assert!(reason.contains("unknown"), "reason: {reason}");
+            }
+            e => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_history_record_is_rejected() {
+        let text = populated_checkpoint().to_text();
+        let corrupted = text.replacen("ph A ", "ph Q ", 1);
+        assert_ne!(corrupted, text, "expected an add record to corrupt");
+        assert!(matches!(
+            WmCheckpoint::from_text(&corrupted).unwrap_err(),
+            CheckpointError::BadLine { .. }
+        ));
     }
 
     #[test]

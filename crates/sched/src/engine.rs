@@ -1,7 +1,7 @@
 //! The scheduling engine: queue manager (Q) + resource matcher (R).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use resources::{Alloc, MatchPolicy, ResourceGraph};
 use simcore::{SimDuration, SimTime};
@@ -78,6 +78,9 @@ struct JobRecord {
     alloc: Option<Alloc>,
     /// When the matcher placed the job (for the traced run span).
     placed_at: Option<SimTime>,
+    /// A hung job holds its resources but never completes on its own;
+    /// its scheduled completion is suppressed until something cancels it.
+    hung: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +115,9 @@ pub struct SchedEngine {
     head_blocked: bool,
     /// (running, pending) per class, iterated in class order.
     class_counts: BTreeMap<JobClass, (u64, u64)>,
+    /// Nodes already reported failed, so a repeated `fail_node` on a
+    /// still-drained node is a no-op instead of double-counting.
+    failed_nodes: BTreeSet<resources::NodeId>,
     stats: SchedStats,
     /// Events produced outside `advance` (e.g. node failures), delivered
     /// on the next poll.
@@ -142,6 +148,7 @@ impl SchedEngine {
             r_free_at: SimTime::ZERO,
             head_blocked: false,
             class_counts: BTreeMap::new(),
+            failed_nodes: BTreeSet::new(),
             stats: SchedStats::default(),
             pending_events: Vec::new(),
             tracer: Tracer::disabled(),
@@ -160,6 +167,14 @@ impl SchedEngine {
     /// it crashes, reported as a failed [`JobEvent::Finished`] on the next
     /// poll so trackers can resubmit. Returns the crashed job ids.
     pub fn fail_node(&mut self, node: resources::NodeId, at: SimTime) -> Vec<JobId> {
+        // A node that already failed and is still drained cannot fail
+        // again: re-reporting it would double-count the failure in the
+        // trace and the `sched.node_failures` counter. A repaired
+        // (undrained) node is eligible to fail anew.
+        if self.failed_nodes.contains(&node) && self.graph.is_drained(node) {
+            return Vec::new();
+        }
+        self.failed_nodes.insert(node);
         self.graph.drain(node);
         let victims: Vec<JobId> = self
             .jobs
@@ -203,6 +218,41 @@ impl SchedEngine {
         );
         self.tracer.counter_add("sched.node_failures", 1);
         victims
+    }
+
+    /// Hangs the lowest-id running job of `class` at time `at`: the job
+    /// keeps holding its allocation but its scheduled completion is
+    /// suppressed, so it never finishes on its own. Only a cancel (e.g.
+    /// a workflow-manager timeout) can reclaim the resources — this is
+    /// the "job hangs" failure of the paper's §4.4 resilience model.
+    /// Returns the hung job's id, or `None` if no eligible job is
+    /// running.
+    pub fn hang_running(&mut self, class: JobClass, at: SimTime) -> Option<JobId> {
+        let id = self
+            .jobs
+            .iter()
+            .find(|(_, rec)| {
+                rec.spec.class == class && rec.state.current() == JobState::Running && !rec.hung
+            })
+            .map(|(&id, _)| id)?;
+        if let Some(rec) = self.jobs.get_mut(&id) {
+            rec.hung = true;
+        }
+        self.tracer.instant_at(
+            at,
+            "sched",
+            "job.hung",
+            &[("job", id.0.into()), ("class", class.label().into())],
+        );
+        self.tracer.counter_add("sched.hung", 1);
+        Some(id)
+    }
+
+    /// Events produced outside `advance` (node-failure crashes) that have
+    /// not yet been delivered to a poller. A workflow manager that dies
+    /// between `fail_node` and its next poll loses exactly these.
+    pub fn undelivered_events(&self) -> usize {
+        self.pending_events.len()
     }
 
     /// The resource graph (for occupancy sampling).
@@ -256,6 +306,7 @@ impl SchedEngine {
                 state: TrackedState::submitted(),
                 alloc: None,
                 placed_at: None,
+                hung: false,
             },
         );
         self.inbox.push_back((at, id));
@@ -385,6 +436,9 @@ impl SchedEngine {
         if rec.state.current() != JobState::Running {
             return; // canceled while running; resources already released
         }
+        if rec.hung {
+            return; // hung jobs never complete; only a cancel frees them
+        }
         if let Some(alloc) = rec.alloc.take() {
             self.graph.release(&alloc);
         }
@@ -471,8 +525,7 @@ impl SchedEngine {
                     "svc.match",
                     &[("job", id.0.into()), ("visited", visited.into())],
                 );
-                self.tracer
-                    .observe("sched.visited_per_match", visited);
+                self.tracer.observe("sched.visited_per_match", visited);
                 match placed {
                     Some(alloc) => {
                         self.ready.pop_front();
@@ -837,6 +890,101 @@ mod failure_tests {
         e.graph_mut().undrain(0);
         e.advance(SimTime::from_secs(5));
         assert_eq!(e.state(b), Some(JobState::Running));
+    }
+
+    /// Regression: calling `fail_node` twice on the same still-drained
+    /// node used to re-emit the `node.failed` trace event and bump the
+    /// `sched.node_failures` counter a second time, so chaos plans with
+    /// repeated fail events over-reported failures. Minimal plan:
+    /// `fail-node t0 0` + `fail-node t1 0` with no repair in between.
+    #[test]
+    fn double_fail_node_counts_once() {
+        let mut e = engine(2);
+        let tracer = trace::Tracer::enabled();
+        e.set_tracer(tracer.clone());
+        for _ in 0..12 {
+            e.submit(sim(), SimTime::ZERO);
+        }
+        e.advance(SimTime::from_secs(1));
+
+        let first = e.fail_node(0, SimTime::from_secs(2));
+        assert_eq!(first.len(), 6);
+        let second = e.fail_node(0, SimTime::from_secs(3));
+        assert!(second.is_empty(), "second fail is a no-op");
+
+        assert_eq!(e.stats().failed, 6, "no double-counted failures");
+        let node_failed_events = tracer
+            .events()
+            .iter()
+            .filter(|ev| ev.name == "node.failed")
+            .count();
+        assert_eq!(node_failed_events, 1, "node.failed traced exactly once");
+        let counters = tracer.metrics_snapshot().counters;
+        let node_failures = counters
+            .iter()
+            .find(|(k, _)| k == "sched.node_failures")
+            .map(|&(_, v)| v);
+        assert_eq!(node_failures, Some(1));
+        // Crash notifications are delivered exactly once.
+        let events = e.advance(SimTime::from_secs(4));
+        assert_eq!(events.len(), 6);
+        assert!(e.advance(SimTime::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn repaired_node_can_fail_again() {
+        let mut e = engine(1);
+        let a = e.submit(sim(), SimTime::ZERO);
+        e.advance(SimTime::from_secs(1));
+        e.fail_node(0, SimTime::from_secs(2));
+        assert_eq!(e.state(a), Some(JobState::Failed));
+        e.graph_mut().undrain(0);
+        let b = e.submit(sim(), SimTime::from_secs(3));
+        e.advance(SimTime::from_secs(4));
+        assert_eq!(e.state(b), Some(JobState::Running));
+        // The repaired node fails anew: this is a fresh failure, counted.
+        let victims = e.fail_node(0, SimTime::from_secs(5));
+        assert_eq!(victims.len(), 1);
+        assert_eq!(e.stats().failed, 2);
+    }
+
+    #[test]
+    fn hung_job_never_completes_until_canceled() {
+        let mut e = engine(1);
+        let id = e.submit(sim(), SimTime::ZERO);
+        e.advance(SimTime::from_secs(1));
+        assert_eq!(e.state(id), Some(JobState::Running));
+
+        let hung = e.hang_running(JobClass::CgSim, SimTime::from_secs(2));
+        assert_eq!(hung, Some(id));
+        // No second job of the class is running, so a repeat finds nothing.
+        assert_eq!(e.hang_running(JobClass::CgSim, SimTime::from_secs(2)), None);
+
+        // Long past its runtime the job is still holding its GPUs.
+        let ev = e.advance(SimTime::from_hours(3));
+        assert!(ev.is_empty(), "hung job must not finish: {ev:?}");
+        assert_eq!(e.state(id), Some(JobState::Running));
+        assert!(e.graph().gpu_usage().0 > 0);
+        assert_eq!(e.stats().completed, 0);
+
+        // Cancel (the WM timeout path) reclaims the resources.
+        assert!(e.cancel(id));
+        assert_eq!(e.state(id), Some(JobState::Canceled));
+        assert_eq!(e.graph().gpu_usage().0, 0);
+        // The suppressed completion stays suppressed after cancel too.
+        assert!(e.advance(SimTime::from_hours(4)).is_empty());
+    }
+
+    #[test]
+    fn undelivered_events_reports_pending_crash_notices() {
+        let mut e = engine(1);
+        e.submit(sim(), SimTime::ZERO);
+        e.advance(SimTime::from_secs(1));
+        assert_eq!(e.undelivered_events(), 0);
+        e.fail_node(0, SimTime::from_secs(2));
+        assert_eq!(e.undelivered_events(), 1);
+        e.advance(SimTime::from_secs(3));
+        assert_eq!(e.undelivered_events(), 0);
     }
 
     #[test]

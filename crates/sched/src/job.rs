@@ -51,6 +51,19 @@ impl JobClass {
             JobClass::Other => "other",
         }
     }
+
+    /// The inverse of [`JobClass::label`] (used by serialized fault plans).
+    pub fn from_label(label: &str) -> Option<JobClass> {
+        match label {
+            "continuum" => Some(JobClass::Continuum),
+            "cg-setup" => Some(JobClass::CgSetup),
+            "cg-sim" => Some(JobClass::CgSim),
+            "aa-setup" => Some(JobClass::AaSetup),
+            "aa-sim" => Some(JobClass::AaSim),
+            "other" => Some(JobClass::Other),
+            _ => None,
+        }
+    }
 }
 
 /// How a job will end, decided by the (virtual) application.

@@ -161,6 +161,12 @@ impl Timeline {
         &self.points
     }
 
+    /// Appends another timeline's samples (e.g. across workflow-manager
+    /// incarnations within one run).
+    pub fn merge(&mut self, other: &Timeline) {
+        self.points.extend_from_slice(&other.points);
+    }
+
     /// Time at which the running count first reached `target`, if ever.
     pub fn time_to_reach(&self, target: u64) -> Option<SimTime> {
         self.points

@@ -217,6 +217,7 @@ fn intern_cat(s: &str) -> &'static str {
         "feedback" => "feedback",
         "datastore" => "datastore",
         "campaign" => "campaign",
+        "chaos" => "chaos",
         _ => "other",
     }
 }
@@ -260,6 +261,10 @@ fn intern_key(s: &str) -> &'static str {
         "hours",
         "placed",
         "completed",
+        "period",
+        "from",
+        "until",
+        "lost",
     ];
     KEYS.iter().find(|k| **k == s).copied().unwrap_or("arg")
 }
