@@ -10,7 +10,10 @@ use mummi_bench::{print_histogram, TraceOpts};
 
 fn main() {
     let topts = TraceOpts::from_args();
-    let mut c = Campaign::new(CampaignConfig::default());
+    let mut c = Campaign::new(CampaignConfig {
+        mode: mummi_bench::drive_mode_from_args(),
+        ..CampaignConfig::default()
+    });
     c.set_tracer(topts.tracer());
     // A representative restartable schedule: one cold run, then warm
     // restarts — the occupancy distribution aggregates all profile events.

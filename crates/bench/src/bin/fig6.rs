@@ -31,7 +31,10 @@ fn print_timeline(title: &str, cg: &Timeline, aa: &Timeline) {
 
 fn main() {
     let topts = TraceOpts::from_args();
-    let mut c = Campaign::new(CampaignConfig::default());
+    let mut c = Campaign::new(CampaignConfig {
+        mode: mummi_bench::drive_mode_from_args(),
+        ..CampaignConfig::default()
+    });
     c.set_tracer(topts.tracer());
     // Warm the campaign so ready buffers exist (the paper's runs restart).
     c.execute_run(1000, 24);

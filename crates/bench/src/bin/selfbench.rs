@@ -1,0 +1,149 @@
+//! Self-benchmark of the campaign simulator: the repo's wall-clock
+//! trajectory (`BENCH_campaign.json`).
+//!
+//! Runs the `table1 --smoke` schedule twice — once under the legacy
+//! fixed-interval ticked loop, once under event-driven next-event time
+//! advance — and records wall-clock seconds, peak RSS, and
+//! virtual-seconds-per-wall-second for each, plus the speedup, as JSON at
+//! the repository root (CI uploads it as an artifact).
+//!
+//! Both engines run the *same* configuration, with `poll_interval` set to
+//! the scheduler pipeline's own decision granularity (50 ms — the
+//! dispatch service cost in `Costs::summit_campaign`; `--poll-millis <n>`
+//! to override). That is the equal-fidelity comparison: the event-driven
+//! clock times every completion and service start exactly, so for the
+//! ticked sweep to resolve the same scheduler events its period must not
+//! exceed the finest service interval — and its cost is O(virtual time /
+//! poll) while the event-driven cost is O(events), independent of the
+//! poll setting. Each phase runs `--reps <n>` times (default 3) and keeps
+//! the minimum wall time. See DESIGN.md § "Simulator performance".
+//!
+//! Usage: `selfbench [--out <path>] [--poll-millis <n>] [--reps <n>]`
+
+use std::time::Instant;
+
+use campaign::{Campaign, CampaignConfig, DriveMode};
+use simcore::SimDuration;
+
+/// The `table1 --smoke` schedule: a two-allocation restart chain.
+const SCHEDULE: &[(u32, u64, u32)] = &[(100, 4, 1), (100, 2, 1)];
+
+/// Peak resident set (VmHWM) in KiB — Linux only, 0 elsewhere. The value
+/// is a process-lifetime high-water mark, so per-phase readings are
+/// cumulative: run the cheaper phase first to keep them meaningful.
+fn peak_rss_kib() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    if let Some(kb) = rest.split_whitespace().next() {
+                        return kb.parse().unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+    0
+}
+
+struct Phase {
+    wall_seconds: f64,
+    virtual_per_wall: f64,
+    peak_rss_kib: u64,
+    placed: u64,
+    iterations: u64,
+}
+
+fn run_mode(mode: DriveMode, poll: SimDuration, reps: u32) -> Phase {
+    let virtual_secs: u64 = SCHEDULE
+        .iter()
+        .map(|&(_, hours, count)| hours * count as u64 * 3600)
+        .sum();
+    let mut best: Option<Phase> = None;
+    for _ in 0..reps.max(1) {
+        let mut c = Campaign::new(CampaignConfig {
+            poll_interval: poll,
+            mode,
+            ..CampaignConfig::default()
+        });
+        let start = Instant::now();
+        c.run_table(SCHEDULE);
+        let wall = start.elapsed().as_secs_f64();
+        let phase = Phase {
+            wall_seconds: wall,
+            virtual_per_wall: virtual_secs as f64 / wall.max(1e-9),
+            peak_rss_kib: peak_rss_kib(),
+            placed: c.reports().iter().map(|r| r.placed).sum(),
+            iterations: c.reports().iter().map(|r| r.driver_iterations).sum(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| phase.wall_seconds < b.wall_seconds)
+        {
+            best = Some(phase);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let poll_millis: u64 = args
+        .iter()
+        .position(|a| a == "--poll-millis")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let reps: u32 = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let poll = SimDuration::from_millis(poll_millis);
+
+    eprintln!("selfbench: table1 --smoke schedule, poll {poll_millis}ms, best of {reps}");
+    // Event-driven first: it allocates less, so the cumulative VmHWM
+    // high-water mark stays attributable per phase.
+    let event = run_mode(DriveMode::EventDriven, poll, reps);
+    eprintln!(
+        "  event-driven: {:.3}s wall, {:.0} virt-s/wall-s, {} iterations, peak {} KiB",
+        event.wall_seconds, event.virtual_per_wall, event.iterations, event.peak_rss_kib
+    );
+    let ticked = run_mode(DriveMode::Ticked, poll, reps);
+    eprintln!(
+        "  ticked:       {:.3}s wall, {:.0} virt-s/wall-s, {} iterations, peak {} KiB",
+        ticked.wall_seconds, ticked.virtual_per_wall, ticked.iterations, ticked.peak_rss_kib
+    );
+    let speedup = ticked.wall_seconds / event.wall_seconds.max(1e-9);
+    eprintln!("  speedup (ticked/event): {speedup:.1}x");
+
+    let phase_json = |p: &Phase| {
+        format!(
+            "{{\"wall_seconds\": {:.6}, \"virtual_per_wall\": {:.1}, \"peak_rss_kib\": {}, \"jobs_placed\": {}, \"driver_iterations\": {}}}",
+            p.wall_seconds, p.virtual_per_wall, p.peak_rss_kib, p.placed, p.iterations
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"campaign-smoke\",\n  \"schedule\": \"table1 --smoke\",\n  \"poll_interval_millis\": {poll_millis},\n  \"virtual_seconds\": {},\n  \"ticked\": {},\n  \"event_driven\": {},\n  \"speedup_event_over_ticked\": {:.2}\n}}\n",
+        SCHEDULE
+            .iter()
+            .map(|&(_, h, c)| h * c as u64 * 3600)
+            .sum::<u64>(),
+        phase_json(&ticked),
+        phase_json(&event),
+        speedup
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

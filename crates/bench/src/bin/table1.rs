@@ -4,7 +4,7 @@
 //! This work utilized over 600,000 node hours on Summit using several runs
 //! at varying scales."
 //!
-//! Usage: `table1 [--full | --smoke] [--chaos <seed>]`. The default
+//! Usage: `table1 [--full | --smoke] [--chaos <seed>] [--ticked]`. The default
 //! executes the paper's exact schedule but with the twenty 1000-node runs
 //! represented by five (the DES is deterministic, so additional identical
 //! runs only add wall time); `--full` executes all 32 runs; `--smoke` runs
@@ -42,7 +42,10 @@ fn main() {
         ]
     };
 
-    let mut cfg = CampaignConfig::default();
+    let mut cfg = CampaignConfig {
+        mode: mummi_bench::drive_mode_from_args(),
+        ..CampaignConfig::default()
+    };
     let plan = chaos_seed.map(|seed| {
         // Fault times are relative to each run's start; spanning the
         // shortest scheduled allocation puts every fault inside every run.

@@ -85,6 +85,18 @@ impl TraceOpts {
     }
 }
 
+/// Parses the `--ticked` escape hatch shared by the campaign binaries:
+/// present → the legacy fixed-interval sweep, absent → event-driven
+/// next-event time advance (the default since the event-driven core
+/// landed). Scheduled for removal once the ticked loop retires.
+pub fn drive_mode_from_args() -> campaign::DriveMode {
+    if std::env::args().skip(1).any(|a| a == "--ticked") {
+        campaign::DriveMode::Ticked
+    } else {
+        campaign::DriveMode::EventDriven
+    }
+}
+
 /// Prints a two-column header followed by rows.
 pub fn print_series(title: &str, xlabel: &str, ylabel: &str, rows: &[(f64, f64)]) {
     println!("## {title}");

@@ -21,12 +21,16 @@
 //!   campaign that hops across variable-sized allocations on different
 //!   clusters through its checkpoints.
 
+pub mod failures;
 pub mod feedback_model;
 pub mod perf;
 mod persistent;
 mod run;
+pub mod sweep;
 
+pub use failures::FailureProcess;
 pub use feedback_model::{FeedbackTimingModel, Iteration};
 pub use perf::{AaPerf, CgPerf, ContinuumPerf};
 pub use persistent::{AllocationOffer, ClusterUsage, PersistentCampaign};
-pub use run::{Campaign, CampaignConfig, RunReport};
+pub use run::{Campaign, CampaignConfig, DriveMode, RunReport};
+pub use sweep::{run_table_runs, run_table_runs_serial, SweepResult, SweepRun};

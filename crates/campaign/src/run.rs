@@ -15,10 +15,26 @@ use mummi_core::app3;
 use mummi_core::{RuntimeModel, WmCheckpoint, WmConfig, WmEvent};
 use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
 use sched::{Costs, Coupling, JobClass, JobSpec, SchedEngine};
-use simcore::{OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
+use simcore::{EventQueue, OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
 use trace::Tracer;
 
+use crate::failures::FailureProcess;
 use crate::perf::{AaPerf, CgPerf, ContinuumPerf};
+
+/// How the driver advances virtual time through a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveMode {
+    /// Next-event time advance: jump the clock to the minimum of the next
+    /// scheduler/WM wakeup, snapshot, fault-plan event, and node-failure
+    /// arrival. Work done is proportional to events, not to elapsed
+    /// virtual time — `poll_interval` stops mattering for cost.
+    EventDriven,
+    /// The legacy fixed-interval sweep: one driver iteration every
+    /// `poll_interval` whether or not anything happened. Kept as an
+    /// escape hatch (`--ticked` on the bench binaries) and as the
+    /// reference for the equivalence tests.
+    Ticked,
+}
 
 /// Campaign-level configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +80,8 @@ pub struct CampaignConfig {
     /// Optional fault plan injected into every run (the chaos harness;
     /// event times are relative to each run's start).
     pub fault_plan: Option<FaultPlan>,
+    /// Time-advance strategy (event-driven unless overridden).
+    pub mode: DriveMode,
     /// Root seed.
     pub seed: u64,
 }
@@ -87,6 +105,7 @@ impl Default for CampaignConfig {
             planned_hours: 600.0,
             job_timeout_grace: 0.0,
             fault_plan: None,
+            mode: DriveMode::EventDriven,
             seed: 20201214,
         }
     }
@@ -147,6 +166,9 @@ pub struct RunReport {
     /// Job accounting summed over every WM incarnation of the run;
     /// [`RunLedger::check`] must come back empty.
     pub ledger: RunLedger,
+    /// Driver loop passes this run took (ticks when ticked, wakeups when
+    /// event-driven) — the quantity next-event time advance minimises.
+    pub driver_iterations: u64,
 }
 
 /// The persistent campaign: survives across runs via checkpoints, exactly
@@ -424,7 +446,13 @@ impl Campaign {
         let mut inner_store = KvDataStore::new(20);
         inner_store.set_tracer(self.tracer.clone());
         let mut store = ScheduledFaultStore::new(inner_store, windows);
-        let mut plan_idx = 0usize;
+        // Plan events live in a real event queue: ticked mode drains what
+        // is due each sweep, event mode additionally uses the head
+        // timestamp to bound how far the clock may jump.
+        let mut plan_q: EventQueue<FaultKind> = EventQueue::new();
+        for ev in &plan.events {
+            plan_q.schedule(ev.at, ev.kind);
+        }
         let mut wm_crashes = 0u64;
         let mut jobs_hung = 0u64;
         let mut ledger = RunLedger {
@@ -439,6 +467,7 @@ impl Campaign {
         let mut run_aa_tl = Timeline::new();
         let end = SimTime::from_hours(hours);
         let mut t = SimTime::ZERO;
+        let mut prev_t = SimTime::ZERO;
         let mut next_snapshot = SimTime::ZERO;
         let mut frame_accum = 0.0f64;
         let mut placed = 0u64;
@@ -446,12 +475,19 @@ impl Campaign {
         let mut load_time = None;
         let mut nodes_failed = 0u64;
         let mut jobs_crashed = 0u64;
-        // Per-tick node-failure probability from the daily rate.
-        let failure_prob_per_tick =
-            (self.cfg.node_failures_per_day * self.cfg.poll_interval.as_hours_f64() / 24.0)
-                .min(1.0);
+        // Hardware attrition as a pre-seeded Poisson process on its own
+        // seed stream: the (time, node) failure history is a function of
+        // the run seed and daily rate alone, invariant to the poll cadence
+        // and to the drive mode.
+        let mut failures = FailureProcess::new(
+            run_seeds.seed_for("node-failures"),
+            self.cfg.node_failures_per_day,
+            nodes,
+        );
 
+        let mut driver_iterations = 0u64;
         while t <= end {
+            driver_iterations += 1;
             self.tracer.set_now(t);
             store.set_now(t);
             // Continuum output: new snapshot → patch candidates.
@@ -476,11 +512,12 @@ impl Campaign {
             }
 
             // CG analyses flag frames as AA candidates, proportional to the
-            // number of running CG simulations.
+            // number of running CG simulations and to the virtual time that
+            // actually elapsed since the last driver pass (so the rate is
+            // honoured whether the clock sweeps or jumps).
             let (cg_running, _) = wm.launcher().class_counts(JobClass::CgSim);
-            frame_accum += cg_running as f64
-                * self.cfg.frames_per_sim_per_min
-                * self.cfg.poll_interval.as_mins_f64();
+            frame_accum +=
+                cg_running as f64 * self.cfg.frames_per_sim_per_min * t.since(prev_t).as_mins_f64();
             let n_frames = frame_accum as usize;
             frame_accum -= n_frames as f64;
             if n_frames > 0 {
@@ -510,10 +547,11 @@ impl Campaign {
                 wm.add_frame_candidates(points);
             }
 
-            // Hardware attrition: occasionally a node dies; Flux drains it
-            // and the trackers resubmit the crashed simulations.
-            if failure_prob_per_tick > 0.0 && rng.gen_bool(failure_prob_per_tick) {
-                let node = rng.gen_range(0..nodes);
+            // Hardware attrition: the failure process decides which nodes
+            // die and when; the driver applies each arrival at the wakeup
+            // that covers it. Flux drains the node and the trackers
+            // resubmit the crashed simulations.
+            while let Some((_, node)) = failures.pop_due(t) {
                 if !wm.launcher().graph().is_drained(node) {
                     let victims = wm.launcher_mut().fail_node(node, t);
                     nodes_failed += 1;
@@ -525,10 +563,11 @@ impl Campaign {
             }
 
             // Scheduled faults from the chaos plan whose time has come.
-            while plan_idx < plan.events.len() && plan.events[plan_idx].at <= t {
-                let ev = plan.events[plan_idx];
-                plan_idx += 1;
-                match ev.kind {
+            while plan_q.peek_time().is_some_and(|at| at <= t) {
+                let Some((ev_t, kind)) = plan_q.pop() else {
+                    break;
+                };
+                match kind {
                     FaultKind::NodeFail { node } => {
                         let node = node % nodes.max(1);
                         if !wm.launcher().graph().is_drained(node) {
@@ -561,8 +600,8 @@ impl Campaign {
                             &[
                                 ("op", op.label().into()),
                                 ("period", period.into()),
-                                ("from", ev.at.as_micros().into()),
-                                ("until", (ev.at + duration).as_micros().into()),
+                                ("from", ev_t.as_micros().into()),
+                                ("until", (ev_t + duration).as_micros().into()),
                             ],
                         );
                     }
@@ -718,7 +757,26 @@ impl Campaign {
                     load_time = Some(t);
                 }
             }
-            t += self.cfg.poll_interval;
+            prev_t = t;
+            match self.cfg.mode {
+                DriveMode::Ticked => t += self.cfg.poll_interval,
+                DriveMode::EventDriven => {
+                    if t >= end {
+                        break;
+                    }
+                    // Next-event time advance: jump straight to the
+                    // earliest instant anything can happen — scheduler or
+                    // WM activity, a continuum snapshot, a fault-plan
+                    // event, or a node failure — clamped so the run still
+                    // closes with a final pass exactly at `end`.
+                    let mut next = next_snapshot.min(wm.next_wakeup(t));
+                    next = next.min(failures.next_at());
+                    if let Some(at) = plan_q.peek_time() {
+                        next = next.min(at);
+                    }
+                    t = next.min(end).max(t + SimDuration::from_micros(1));
+                }
+            }
         }
 
         // Run over: credit partial trajectories to interrupted sims and
@@ -809,6 +867,7 @@ impl Campaign {
             jobs_timed_out: wm_stats.jobs_timed_out,
             jobs_abandoned: wm_stats.jobs_abandoned,
             ledger,
+            driver_iterations,
         };
         self.tracer.instant_at(
             end,

@@ -1,0 +1,147 @@
+//! Parallel sweeps of independent seeded campaigns.
+//!
+//! The Table-1 schedule itself is one campaign whose runs chain through a
+//! checkpoint — inherently sequential. What *is* embarrassingly parallel
+//! is a sweep over independent campaigns: seed-sensitivity replicas,
+//! coupling/matcher ablations, figure variants. Each sweep entry owns its
+//! configuration, schedule, and (optionally) an in-memory tracer, so the
+//! entries share no state and can fan out over `rayon`.
+//!
+//! Determinism contract: results are collected **in input order** through
+//! an indexed `par_iter().map().collect()`, and every entry derives all of
+//! its randomness from its own `CampaignConfig::seed`. Output bytes are
+//! therefore identical to the serial twin ([`run_table_runs_serial`]) no
+//! matter how many worker threads execute the closure — a property the
+//! byte-compare test pins down. (The vendored offline `rayon` stand-in is
+//! sequential; the call sites keep the data-parallel shape so the real
+//! crate can swap in without touching this module.)
+
+use rayon::prelude::*;
+
+use trace::Tracer;
+
+use crate::run::{Campaign, CampaignConfig, RunReport};
+
+/// One independent campaign execution inside a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Stable label carried into the result (and any rendered output).
+    pub label: String,
+    /// Full campaign configuration, seed included.
+    pub cfg: CampaignConfig,
+    /// `(nodes, hours, count)` rows, as taken by [`Campaign::run_table`].
+    pub schedule: Vec<(u32, u64, u32)>,
+    /// Record an in-memory trace of the campaign (the per-run `--trace`
+    /// bytes the equivalence tests compare).
+    pub trace: bool,
+}
+
+/// What one sweep entry produced.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The entry's label, copied through.
+    pub label: String,
+    /// Reports in execution order, one per allocation.
+    pub reports: Vec<RunReport>,
+    /// The campaign trace as JSONL, when requested.
+    pub trace_jsonl: Option<String>,
+}
+
+fn execute(run: &SweepRun) -> SweepResult {
+    let mut campaign = Campaign::new(run.cfg.clone());
+    if run.trace {
+        campaign.set_tracer(Tracer::enabled());
+    }
+    campaign.run_table(&run.schedule);
+    SweepResult {
+        label: run.label.clone(),
+        reports: campaign.reports().to_vec(),
+        trace_jsonl: run.trace.then(|| campaign.tracer().to_jsonl()),
+    }
+}
+
+/// Executes every sweep entry, fanning out across the rayon pool; results
+/// come back in input order regardless of completion order.
+pub fn run_table_runs(runs: &[SweepRun]) -> Vec<SweepResult> {
+    runs.par_iter().map(execute).collect()
+}
+
+/// The serial twin of [`run_table_runs`]: same inputs, same outputs, one
+/// thread. Exists so tests (and skeptics) can byte-compare the two.
+pub fn run_table_runs_serial(runs: &[SweepRun]) -> Vec<SweepResult> {
+    runs.iter().map(execute).collect()
+}
+
+/// Renders a sweep to a stable text table (label, per-run placed /
+/// completed / occupancy), the form the byte-compare test and the bench
+/// binaries share.
+pub fn render(results: &[SweepResult]) -> String {
+    let mut out = String::new();
+    for res in results {
+        for (i, r) in res.reports.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\trun{}\tnodes={}\thours={}\tplaced={}\tcompleted={}\tgpu={:.3}%\tfailed={}\n",
+                res.label,
+                i + 1,
+                r.nodes,
+                r.hours,
+                r.placed,
+                r.sims_completed,
+                r.gpu_mean_occupancy,
+                r.nodes_failed,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resources::MatchPolicy;
+    use sched::Coupling;
+
+    fn entry(label: &str, seed: u64, trace: bool) -> SweepRun {
+        SweepRun {
+            label: label.to_string(),
+            cfg: CampaignConfig {
+                patches_per_snapshot: 4,
+                policy: MatchPolicy::FirstMatch,
+                coupling: Coupling::Asynchronous,
+                submit_rate_per_min: 600,
+                seed,
+                ..CampaignConfig::default()
+            },
+            schedule: vec![(5, 3, 1)],
+            trace,
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let runs = vec![
+            entry("seed-1", 1, true),
+            entry("seed-2", 2, true),
+            entry("seed-3", 3, true),
+        ];
+        let par = run_table_runs(&runs);
+        let ser = run_table_runs_serial(&runs);
+        assert_eq!(render(&par), render(&ser));
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.label, s.label);
+            // The per-run trace bytes — the strongest equality we have —
+            // must match exactly, not just the summary table.
+            assert_eq!(p.trace_jsonl, s.trace_jsonl);
+            assert!(p.trace_jsonl.as_deref().is_some_and(|t| !t.is_empty()));
+        }
+    }
+
+    #[test]
+    fn sweep_results_preserve_input_order() {
+        let runs = vec![entry("z-last", 9, false), entry("a-first", 8, false)];
+        let out = run_table_runs(&runs);
+        assert_eq!(out[0].label, "z-last");
+        assert_eq!(out[1].label, "a-first");
+    }
+}

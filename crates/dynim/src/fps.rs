@@ -40,6 +40,10 @@ pub struct FarthestPointSampler<I: NnIndex> {
     selected: I,
     evicted: u64,
     selected_ids: Vec<String>,
+    /// Entries whose rank is `None`. Lets a warm [`Self::update_ranks`]
+    /// return in O(1) instead of scanning the whole queue for stale
+    /// entries on every pick of a multi-point selection.
+    stale: usize,
 }
 
 impl<I: NnIndex> FarthestPointSampler<I> {
@@ -52,6 +56,7 @@ impl<I: NnIndex> FarthestPointSampler<I> {
             selected: index,
             evicted: 0,
             selected_ids: Vec::new(),
+            stale: 0,
         }
     }
 
@@ -75,11 +80,25 @@ impl<I: NnIndex> FarthestPointSampler<I> {
         self.pos.contains_key(id)
     }
 
+    /// Diagnostic view of the rank cache: `(id, cached min-distance²)` per
+    /// queued candidate in internal queue order; `None` marks a stale
+    /// entry. The equivalence property test compares this against a naive
+    /// recomputation.
+    pub fn cached_ranks(&self) -> Vec<(&str, Option<f64>)> {
+        self.queue
+            .iter()
+            .map(|(p, r)| (p.id.as_str(), *r))
+            .collect()
+    }
+
     /// Refreshes every stale rank against the full selected set, in
     /// parallel — the expensive step the cache defers ("it takes 3–4
     /// minutes to update the ranks of all candidates within all queues").
     pub fn update_ranks(&mut self) {
-        if self.selected.is_empty() {
+        // Warm cache: nothing stale, nothing to scan. This is what makes
+        // the per-pick cost of `select` O(N) in the queue rather than
+        // O(N·S) against the selected set.
+        if self.selected.is_empty() || self.stale == 0 {
             return;
         }
         let index = &self.selected;
@@ -88,6 +107,7 @@ impl<I: NnIndex> FarthestPointSampler<I> {
                 *rank = Some(index.nearest_dist_sq(&p.coords));
             }
         });
+        self.stale = 0;
     }
 
     fn mark_selected(&mut self, point: &HdPoint) {
@@ -109,6 +129,9 @@ impl<I: NnIndex> FarthestPointSampler<I> {
     /// swap_remove with position-map repair.
     fn remove_at(&mut self, idx: usize) -> (HdPoint, Rank) {
         let entry = self.queue.swap_remove(idx);
+        if entry.1.is_none() {
+            self.stale -= 1;
+        }
         self.pos.remove(&entry.0.id);
         if idx < self.queue.len() {
             let moved_id = self.queue[idx].0.id.clone();
@@ -122,6 +145,9 @@ impl<I: NnIndex> Sampler for FarthestPointSampler<I> {
     fn add(&mut self, point: HdPoint) {
         if let Some(&idx) = self.pos.get(&point.id) {
             // Same id re-added: replace coordinates, invalidate rank.
+            if self.queue[idx].1.is_some() {
+                self.stale += 1;
+            }
             self.queue[idx] = (point, None);
             return;
         }
@@ -133,6 +159,7 @@ impl<I: NnIndex> Sampler for FarthestPointSampler<I> {
         }
         self.pos.insert(point.id.clone(), self.queue.len());
         self.queue.push((point, None));
+        self.stale += 1;
     }
 
     fn select(&mut self, k: usize) -> Vec<HdPoint> {

@@ -229,6 +229,18 @@ impl JobTracker {
         out
     }
 
+    /// The earliest instant at which a currently-placed job becomes
+    /// overdue under `grace` (see [`JobTracker::expire_overdue`], whose
+    /// `>` comparison means expiry happens strictly *after* this instant).
+    /// `None` when nothing is placed. Event-driven drivers use this as the
+    /// watchdog's next deadline instead of scanning every tick.
+    pub fn earliest_timeout(&self, grace: f64) -> Option<SimTime> {
+        self.live
+            .values()
+            .filter_map(|job| job.placed_at.map(|p| p + job.runtime.mul_f64(grace)))
+            .min()
+    }
+
     /// Routes a scheduler event owned by this tracker. Returns `None` for
     /// events about other trackers' jobs. Failed jobs are resubmitted
     /// immediately (at the finish time) until the budget runs out.

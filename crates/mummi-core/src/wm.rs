@@ -324,6 +324,34 @@ impl<L: Launcher> WorkflowManager<L> {
         }
     }
 
+    /// The earliest instant after `now` at which a [`WorkflowManager::tick`]
+    /// would do anything: the launcher's next event, the feedback or
+    /// profile cadence, or the hang-watchdog's next deadline. Event-driven
+    /// drivers jump the clock to the minimum of this and their own event
+    /// sources instead of polling on a fixed interval.
+    ///
+    /// The instant is conservative (waking the WM early is harmless — an
+    /// undue tick is a cheap no-op) but never late: no tracked state
+    /// changes strictly before the returned time.
+    pub fn next_wakeup(&self, now: SimTime) -> SimTime {
+        let eps = simcore::SimDuration::from_micros(1);
+        let mut next = self.next_feedback.min(self.next_profile);
+        if let Some(t) = self.launcher.next_wakeup() {
+            next = next.min(t);
+        }
+        if self.cfg.job_timeout_grace > 0.0 {
+            let grace = self.cfg.job_timeout_grace;
+            for tr in [&self.cg_setup, &self.cg_sim, &self.aa_setup, &self.aa_sim] {
+                if let Some(deadline) = tr.earliest_timeout(grace) {
+                    // `expire_overdue` uses a strict comparison, so the
+                    // job is only reclaimable just past its deadline.
+                    next = next.min(deadline + eps);
+                }
+            }
+        }
+        next.max(now + eps)
+    }
+
     /// One WM cycle at time `now`: poll jobs, replace finished ones, keep
     /// buffers stocked, run feedback and profiling when due.
     pub fn tick(&mut self, now: SimTime, store: &mut dyn DataStore) -> Vec<WmEvent> {

@@ -368,6 +368,38 @@ impl SchedEngine {
         true
     }
 
+    /// The earliest future instant at which [`SchedEngine::advance`] could
+    /// make progress, or `None` when the engine is fully idle (no pending
+    /// service, no scheduled completions). An event-driven driver jumps
+    /// its clock here instead of polling on a fixed tick.
+    ///
+    /// Completions fire when `advance(now)` sees `t <= now`, so their own
+    /// timestamp is returned; Q/R service starts only strictly *before*
+    /// `now`, so service start times are nudged one microsecond late. The
+    /// returned instant may be conservative (a hung or canceled job's
+    /// stale completion entry wakes the driver once, harmlessly): the
+    /// contract is *no progress is possible before it*, not that work is
+    /// guaranteed exactly at it.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let eps = SimDuration::from_micros(1);
+        let completion = self.completions.peek().map(|Reverse((t, _))| *t);
+        let ingest = self
+            .inbox
+            .front()
+            .map(|&(sub_t, _)| self.q_free_at.max(sub_t) + eps);
+        let matcher = match (self.ready.front(), self.head_blocked) {
+            (Some(&(ready_at, _)), false) => {
+                let server = match self.coupling {
+                    Coupling::Synchronous => self.q_free_at,
+                    Coupling::Asynchronous => self.r_free_at,
+                };
+                Some(server.max(ready_at) + eps)
+            }
+            _ => None,
+        };
+        [completion, ingest, matcher].into_iter().flatten().min()
+    }
+
     /// Processes all scheduler work whose *start* time is before `now`,
     /// interleaving Q/R service with resource releases in time order.
     /// Returned events carry their own timestamps; an action started just

@@ -34,6 +34,15 @@ pub trait Launcher {
 
     /// (used, total) CPU cores of the resource set.
     fn cpu_usage(&self) -> (u64, u64);
+
+    /// The earliest future instant at which [`Launcher::poll`] could
+    /// return new events or place queued work, or `None` when the backend
+    /// is idle (or cannot say — the default). Event-driven drivers use
+    /// this to jump the clock; backends that return `None` are simply
+    /// polled on the driver's fallback cadence instead.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        None
+    }
 }
 
 impl Launcher for SchedEngine {
@@ -63,6 +72,10 @@ impl Launcher for SchedEngine {
 
     fn cpu_usage(&self) -> (u64, u64) {
         self.graph().cpu_usage()
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        SchedEngine::next_wakeup(self)
     }
 }
 
