@@ -1,0 +1,208 @@
+//! The two bench-artifact file formats and the scale file's
+//! append-don't-clobber merge.
+//!
+//! `BENCH_campaign.json` (schema 1) is a single-object snapshot of the
+//! smoke benchmark: `bench`, `schema`, `schedule`, the `ticked` and
+//! `event_driven` phase objects, and the speedup. It is rewritten whole
+//! on every run.
+//!
+//! `BENCH_scale.json` (schema 1) is a *trajectory*: `bench`, `schema`,
+//! and an `entries` array with one object per measured rung per
+//! invocation. New measurements append to the array — the file
+//! accumulates the repo's scale history instead of being clobbered.
+
+use crate::json::Json;
+
+/// Current layout version of both bench files.
+pub const SCHEMA: u64 = 1;
+
+/// Extracts the existing `entries` of a scale file, re-serialized one
+/// compact JSON object per element. `Err` if the text is not valid JSON
+/// (callers typically warn and start fresh).
+pub fn scale_entries(text: &str) -> Result<Vec<String>, String> {
+    let v = Json::parse(text)?;
+    Ok(v.get("entries")
+        .and_then(|e| e.as_arr())
+        .unwrap_or(&[])
+        .iter()
+        .map(|e| e.to_json())
+        .collect())
+}
+
+/// Renders a complete scale file from compact per-entry JSON strings.
+pub fn render_scale_file(entries: &[String]) -> String {
+    let mut json =
+        format!("{{\n  \"bench\": \"scale-ladder\",\n  \"schema\": {SCHEMA},\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(e);
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// The append-don't-clobber merge: existing entries (if `existing` holds
+/// a parseable scale file) followed by `new_entries`, rendered as the
+/// next file contents. Returns the rendered text, the total entry
+/// count, and a warning when the existing text had to be discarded.
+pub fn merge_scale_file(
+    existing: Option<&str>,
+    new_entries: Vec<String>,
+) -> (String, usize, Option<String>) {
+    let mut warning = None;
+    let mut entries = match existing.map(scale_entries) {
+        Some(Ok(old)) => old,
+        Some(Err(e)) => {
+            warning = Some(format!(
+                "existing scale file is not valid JSON ({e}); starting fresh"
+            ));
+            Vec::new()
+        }
+        None => Vec::new(),
+    };
+    entries.extend(new_entries);
+    let text = render_scale_file(&entries);
+    let n = entries.len();
+    (text, n, warning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    /// A representative smoke snapshot, as `selfbench` writes it.
+    const CAMPAIGN: &str = r#"{
+  "bench": "campaign-smoke",
+  "schema": 1,
+  "schedule": "table1 --smoke",
+  "poll_interval_millis": 50,
+  "virtual_seconds": 21600,
+  "ticked": {"wall_seconds": 0.061575, "virtual_per_wall": 350793.3, "peak_rss_kib": 4668, "jobs_placed": 254, "driver_iterations": 432002},
+  "event_driven": {"wall_seconds": 0.007982, "virtual_per_wall": 2705983.6, "peak_rss_kib": 4428, "jobs_placed": 253, "driver_iterations": 1472},
+  "speedup_event_over_ticked": 7.71
+}
+"#;
+
+    /// A representative scale trajectory, as `selfbench --scale` writes it.
+    const SCALE: &str = r#"{
+  "bench": "scale-ladder",
+  "schema": 1,
+  "entries": [
+    {"rung": "1/8", "nodes": 576, "gpus": 3456, "virtual_hours": 16, "engine": "linear", "wall_seconds": 1.2, "virtual_per_wall": 48000.0, "peak_rss_kib": 21772, "jobs_placed": 3456, "driver_iterations": 14611, "peak_concurrent_gpu_jobs": 3456, "steady_gpu_occupancy": 99.50},
+    {"rung": "1/8", "nodes": 576, "gpus": 3456, "virtual_hours": 16, "engine": "indexed", "wall_seconds": 0.26, "virtual_per_wall": 221538.4, "peak_rss_kib": 22444, "jobs_placed": 3456, "driver_iterations": 14611, "peak_concurrent_gpu_jobs": 3456, "steady_gpu_occupancy": 99.50, "speedup_vs_linear": 4.67}
+  ]
+}
+"#;
+
+    #[test]
+    fn campaign_file_parses_with_schema() {
+        let v = Json::parse(CAMPAIGN).expect("campaign file parses");
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("campaign-smoke")
+        );
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_f64()),
+            Some(SCHEMA as f64)
+        );
+        let ticked = v.get("ticked").expect("ticked phase");
+        assert_eq!(
+            ticked.get("jobs_placed").and_then(|j| j.as_f64()),
+            Some(254.0)
+        );
+        let event = v.get("event_driven").expect("event-driven phase");
+        assert_eq!(
+            event.get("driver_iterations").and_then(|j| j.as_f64()),
+            Some(1472.0)
+        );
+        assert_eq!(
+            v.get("speedup_event_over_ticked").and_then(|s| s.as_f64()),
+            Some(7.71)
+        );
+    }
+
+    #[test]
+    fn scale_file_parses_with_schema_and_entries() {
+        let v = Json::parse(SCALE).expect("scale file parses");
+        assert_eq!(
+            v.get("bench").and_then(|b| b.as_str()),
+            Some("scale-ladder")
+        );
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_f64()),
+            Some(SCHEMA as f64)
+        );
+        let entries = v.get("entries").and_then(|e| e.as_arr()).expect("entries");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].get("engine").and_then(|e| e.as_str()),
+            Some("linear")
+        );
+        assert_eq!(
+            entries[1].get("speedup_vs_linear").and_then(|s| s.as_f64()),
+            Some(4.67)
+        );
+        assert_eq!(
+            entries[1]
+                .get("peak_concurrent_gpu_jobs")
+                .and_then(|p| p.as_f64()),
+            Some(3456.0)
+        );
+    }
+
+    #[test]
+    fn merge_appends_without_clobbering() {
+        let new = vec![r#"{"rung": "1/64", "engine": "indexed"}"#.to_string()];
+        let (text, n, warning) = merge_scale_file(Some(SCALE), new);
+        assert_eq!(n, 3);
+        assert!(warning.is_none());
+        let v = Json::parse(&text).expect("merged file parses");
+        let entries = v.get("entries").and_then(|e| e.as_arr()).expect("entries");
+        assert_eq!(entries.len(), 3);
+        // Old entries survive in order, with their fields intact.
+        assert_eq!(
+            entries[0].get("engine").and_then(|e| e.as_str()),
+            Some("linear")
+        );
+        assert_eq!(
+            entries[1].get("speedup_vs_linear").and_then(|s| s.as_f64()),
+            Some(4.67)
+        );
+        assert_eq!(
+            entries[2].get("rung").and_then(|r| r.as_str()),
+            Some("1/64")
+        );
+
+        // Merging twice keeps accumulating.
+        let (text2, n2, _) = merge_scale_file(
+            Some(&text),
+            vec![r#"{"rung": "1/2", "engine": "indexed"}"#.to_string()],
+        );
+        assert_eq!(n2, 4);
+        let v2 = Json::parse(&text2).expect("re-merged file parses");
+        assert_eq!(
+            v2.get("entries").and_then(|e| e.as_arr()).map(|a| a.len()),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn merge_from_nothing_or_garbage_starts_fresh() {
+        let entry = vec![r#"{"rung": "1/8"}"#.to_string()];
+        let (text, n, warning) = merge_scale_file(None, entry.clone());
+        assert_eq!(n, 1);
+        assert!(warning.is_none());
+        assert!(Json::parse(&text).is_ok());
+
+        let (text, n, warning) = merge_scale_file(Some("not json {"), entry);
+        assert_eq!(n, 1);
+        assert!(warning.is_some());
+        let v = Json::parse(&text).expect("fresh file parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_f64()),
+            Some(SCHEMA as f64)
+        );
+    }
+}

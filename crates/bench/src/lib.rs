@@ -10,6 +10,9 @@ use std::path::PathBuf;
 use simcore::Histogram;
 use trace::Tracer;
 
+pub mod files;
+pub mod json;
+
 /// Tracing options shared by the figure binaries.
 ///
 /// `--trace <path>` writes the run's virtual-time trace as JSONL (one

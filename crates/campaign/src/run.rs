@@ -77,11 +77,27 @@ pub struct CampaignConfig {
     /// age exceeds `grace ×` its modeled runtime is presumed hung,
     /// canceled, and resubmitted. 0 disables the watchdog.
     pub job_timeout_grace: f64,
+    /// Ready-buffer sizing: each partition keeps `gpu_target /
+    /// ready_buffer_divisor` prepared simulations in flight. The paper's
+    /// "sets of CG and AA simulations are kept prepared in anticipation"
+    /// trade-off; the divisor controls staleness vs fill rate.
+    pub ready_buffer_divisor: u64,
+    /// Upper clamp on the CG ready buffer (the AA buffer is capped at
+    /// half of it). The historical default of 400 starves allocations
+    /// beyond ~1,000 nodes — full-Summit configurations must raise it or
+    /// the setup pipeline cannot keep 27k GPUs fed.
+    pub ready_buffer_cap: usize,
     /// Optional fault plan injected into every run (the chaos harness;
     /// event times are relative to each run's start).
     pub fault_plan: Option<FaultPlan>,
     /// Time-advance strategy (event-driven unless overridden).
     pub mode: DriveMode,
+    /// Benchmarking escape hatch: run the scheduler's resource matcher
+    /// and the trackers' hang watchdog on the retired linear scans
+    /// instead of the free-resource / deadline indexes. Same decisions,
+    /// same traces — only the wall-clock cost differs. The scale ladder
+    /// uses it as the "pre-change engine" baseline.
+    pub linear_scan: bool,
     /// Root seed.
     pub seed: u64,
 }
@@ -104,9 +120,42 @@ impl Default for CampaignConfig {
             node_failures_per_day: 2.0,
             planned_hours: 600.0,
             job_timeout_grace: 0.0,
+            ready_buffer_divisor: 10,
+            ready_buffer_cap: 400,
             fault_plan: None,
             mode: DriveMode::EventDriven,
+            linear_scan: false,
             seed: 20201214,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Configuration for one rung of the Summit scale ladder (`nodes`
+    /// compute nodes, 6 GPUs each): §5.2's fixed engine (greedy matching,
+    /// asynchronous Q↔R), the hang watchdog armed as the 4,000-node
+    /// campaign ran it, and candidate generation / ready buffers scaled
+    /// so the whole machine can fill within a few setup generations.
+    /// Hardware attrition is off — the ladder is a clean throughput
+    /// benchmark; the chaos harness exercises faults separately.
+    pub fn scale_rung(nodes: u32) -> CampaignConfig {
+        let total_gpus = nodes as u64 * 6;
+        CampaignConfig {
+            // ~4× oversupply of patch candidates relative to the CG
+            // partition: enough to keep the selector fed through
+            // resubmissions without drowning the driver in candidate
+            // generation.
+            patches_per_snapshot: ((total_gpus / 200).max(24)) as usize,
+            frames_per_sim_per_min: 0.01,
+            queue_cap: (total_gpus as usize * 2).clamp(2_000, 35_000),
+            policy: MatchPolicy::FirstMatch,
+            coupling: Coupling::Asynchronous,
+            submit_rate_per_min: 3_000,
+            job_timeout_grace: 1.5,
+            node_failures_per_day: 0.0,
+            ready_buffer_divisor: 2,
+            ready_buffer_cap: total_gpus as usize,
+            ..CampaignConfig::default()
         }
     }
 }
@@ -309,8 +358,10 @@ impl Campaign {
         let total_gpus = machine.total_gpus();
         // The spec outlives the first engine: a WM crash point discards the
         // whole incarnation and rebuilds scheduler + WM from scratch.
+        let mut graph = ResourceGraph::new(machine.clone());
+        graph.set_linear_scan(self.cfg.linear_scan);
         let mut engine = SchedEngine::new(
-            ResourceGraph::new(machine.clone()),
+            graph,
             self.cfg.policy,
             self.cfg.coupling,
             Costs::summit_campaign(),
@@ -318,10 +369,12 @@ impl Campaign {
         engine.set_tracer(self.tracer.clone());
 
         let cg_target = (total_gpus as f64 * self.cfg.cg_fraction) as u64;
+        let divisor = self.cfg.ready_buffer_divisor.max(1);
+        let cap = self.cfg.ready_buffer_cap.max(8);
         let wm_cfg = WmConfig {
             cg_gpu_fraction: self.cfg.cg_fraction,
-            cg_ready_buffer: ((cg_target / 10) as usize).clamp(8, 400),
-            aa_ready_buffer: (((total_gpus - cg_target) / 10) as usize).clamp(4, 200),
+            cg_ready_buffer: ((cg_target / divisor) as usize).clamp(8, cap),
+            aa_ready_buffer: (((total_gpus - cg_target) / divisor) as usize).clamp(4, cap / 2),
             poll_interval: self.cfg.poll_interval,
             feedback_interval: SimDuration::from_mins(10),
             profile_interval: SimDuration::from_mins(10),
@@ -331,6 +384,7 @@ impl Campaign {
             // queues); per-candidate history would dominate DES memory.
             record_history: false,
             job_timeout_grace: self.cfg.job_timeout_grace,
+            linear_scan: self.cfg.linear_scan,
             seed: run_seeds.seed_for("wm"),
             ..WmConfig::default()
         };
@@ -486,6 +540,11 @@ impl Campaign {
         );
 
         let mut driver_iterations = 0u64;
+        // Per-tick scratch buffers, hoisted out of the loop: candidate
+        // staging and the WM event list are drained every pass, so one
+        // allocation serves the whole run.
+        let mut point_buf: Vec<dynim::HdPoint> = Vec::new();
+        let mut wm_events: Vec<WmEvent> = Vec::new();
         while t <= end {
             driver_iterations += 1;
             self.tracer.set_now(t);
@@ -496,7 +555,6 @@ impl Campaign {
                 self.cont_samples.push(
                     cont_perf.sample(JobShape::continuum(cont_nodes).total_cores(), &mut rng),
                 );
-                let mut points = Vec::with_capacity(self.cfg.patches_per_snapshot);
                 for _ in 0..self.cfg.patches_per_snapshot {
                     self.next_id += 1;
                     self.patches += 1;
@@ -505,9 +563,9 @@ impl Campaign {
                     let encoded: Vec<f64> = (0..app3::PATCH_LATENT_DIM)
                         .map(|_| rng.gen_range(-1.0..1.0))
                         .collect();
-                    points.push(app3::state_tagged_point(&id, state, encoded));
+                    point_buf.push(app3::state_tagged_point(&id, state, encoded));
                 }
-                wm.add_patch_candidates(points);
+                wm.add_patch_candidates_from(&mut point_buf);
                 next_snapshot += self.cfg.snapshot_interval;
             }
 
@@ -521,7 +579,6 @@ impl Campaign {
             let n_frames = frame_accum as usize;
             frame_accum -= n_frames as f64;
             if n_frames > 0 {
-                let mut points = Vec::with_capacity(n_frames);
                 for _ in 0..n_frames {
                     self.next_id += 1;
                     self.frames += 1;
@@ -542,9 +599,9 @@ impl Campaign {
                         rdfs: vec![vec![1.0 + coords[0] - coords[1]; 8]],
                     };
                     let _ = store.write(mummi_core::ns::RDF_NEW, &id, &frame.encode());
-                    points.push(dynim::HdPoint::new(id, coords));
+                    point_buf.push(dynim::HdPoint::new(id, coords));
                 }
-                wm.add_frame_candidates(points);
+                wm.add_frame_candidates_from(&mut point_buf);
             }
 
             // Hardware attrition: the failure process decides which nodes
@@ -673,8 +730,10 @@ impl Campaign {
                         // Rebuild scheduler + WM and restore. The new
                         // incarnation gets its own seed streams: recovery
                         // must not replay the dead WM's random decisions.
+                        let mut graph = ResourceGraph::new(machine.clone());
+                        graph.set_linear_scan(self.cfg.linear_scan);
                         let mut engine = SchedEngine::new(
-                            ResourceGraph::new(machine.clone()),
+                            graph,
                             self.cfg.policy,
                             self.cfg.coupling,
                             Costs::summit_campaign(),
@@ -709,17 +768,18 @@ impl Campaign {
             }
 
             // The WM cycle.
-            for ev in wm.tick(t, &mut store) {
+            wm.tick_into(t, &mut store, &mut wm_events);
+            for ev in wm_events.drain(..) {
                 match ev {
                     WmEvent::CgSimStarted { sim_id, .. } | WmEvent::AaSimStarted { sim_id, .. } => {
                         placed += 1;
-                        if let Some(rec) = self.sims.lock().get_mut(&sim_id) {
+                        if let Some(rec) = self.sims.lock().get_mut(&*sim_id) {
                             rec.started_at = Some(t);
                         }
                     }
                     WmEvent::CgSimFinished { sim_id } | WmEvent::AaSimFinished { sim_id } => {
                         completed += 1;
-                        if let Some(rec) = self.sims.lock().get_mut(&sim_id) {
+                        if let Some(rec) = self.sims.lock().get_mut(&*sim_id) {
                             rec.achieved = rec.target;
                             rec.started_at = None;
                         }

@@ -7,13 +7,20 @@
 //! runtime model, maps scheduler events back to application payloads
 //! (patch ids, simulation ids), and resubmits failures up to a budget.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use resources::JobShape;
 use sched::{JobClass, JobEvent, JobId, JobSpec, Launcher};
 use simcore::{SimDuration, SimTime};
+
+/// An interned application payload (patch/frame/simulation id). One heap
+/// string is allocated when a payload first enters the WM coordination
+/// path; every tracker record, ready-queue entry, resubmission, and
+/// [`crate::WmEvent`] after that clones the pointer, not the bytes.
+pub type PayloadId = Arc<str>;
 
 /// Per-class tracker configuration.
 #[derive(Debug, Clone)]
@@ -54,24 +61,24 @@ pub enum Tracked {
         /// Scheduler id.
         job: JobId,
         /// Application payload (patch/frame/simulation id).
-        payload: String,
+        payload: PayloadId,
     },
     /// The job finished successfully.
     Done {
         /// Application payload.
-        payload: String,
+        payload: PayloadId,
     },
     /// The job failed and was resubmitted.
     Resubmitted {
         /// Application payload.
-        payload: String,
+        payload: PayloadId,
         /// Which attempt this will be (1-based).
         attempt: u32,
     },
     /// The job failed and exhausted its resubmission budget.
     Abandoned {
         /// Application payload.
-        payload: String,
+        payload: PayloadId,
     },
 }
 
@@ -79,7 +86,7 @@ pub enum Tracked {
 /// needs to notice a hang (when it was placed and how long it should run).
 #[derive(Debug, Clone)]
 struct LiveJob {
-    payload: String,
+    payload: PayloadId,
     /// Set when the scheduler reports placement.
     placed_at: Option<SimTime>,
     /// The virtual runtime the job was submitted with.
@@ -91,7 +98,21 @@ struct LiveJob {
 pub struct JobTracker {
     cfg: TrackerConfig,
     live: BTreeMap<JobId, LiveJob>,
-    attempts: BTreeMap<String, u32>,
+    attempts: BTreeMap<PayloadId, u32>,
+    /// Watchdog deadlines of placed jobs, ordered `(deadline, id)` — the
+    /// index behind [`JobTracker::earliest_timeout`] and
+    /// [`JobTracker::expire_overdue`], replacing full-table min scans.
+    /// Deadlines are `placed_at + runtime × grace`; empty while the
+    /// watchdog is disabled (`timeout_grace == 0`).
+    deadlines: BTreeSet<(SimTime, JobId)>,
+    /// Grace factor the deadlines were computed with (see
+    /// [`JobTracker::set_timeout_grace`]).
+    timeout_grace: f64,
+    /// Benchmarking escape hatch: answer watchdog queries with the
+    /// retired full-table scans instead of the deadline index (see
+    /// [`JobTracker::set_linear_scan`]). Results are identical either
+    /// way; only the wall-clock cost differs.
+    linear_scan: bool,
     submitted: u64,
     completed: u64,
     failed: u64,
@@ -99,17 +120,55 @@ pub struct JobTracker {
 }
 
 impl JobTracker {
-    /// Creates a tracker.
+    /// Creates a tracker with the hang watchdog disabled.
     pub fn new(cfg: TrackerConfig) -> JobTracker {
         JobTracker {
             cfg,
             live: BTreeMap::new(),
             attempts: BTreeMap::new(),
+            deadlines: BTreeSet::new(),
+            timeout_grace: 0.0,
+            linear_scan: false,
             submitted: 0,
             completed: 0,
             failed: 0,
             timed_out: 0,
         }
+    }
+
+    /// Sets the watchdog grace factor: a placed job is presumed hung once
+    /// it overstays `grace` times its submitted runtime (`0` disables the
+    /// watchdog). Rebuilds the deadline index, so changing the factor
+    /// mid-run is allowed but costs O(live · log live).
+    pub fn set_timeout_grace(&mut self, grace: f64) {
+        self.timeout_grace = grace;
+        self.deadlines.clear();
+        if grace > 0.0 {
+            for (&id, job) in &self.live {
+                if let Some(p) = job.placed_at {
+                    self.deadlines.insert((p + job.runtime.mul_f64(grace), id));
+                }
+            }
+        }
+    }
+
+    /// The configured watchdog grace factor.
+    pub fn timeout_grace(&self) -> f64 {
+        self.timeout_grace
+    }
+
+    /// Switches watchdog queries back to the retired O(live) table scans
+    /// — the pre-index engine, retained so the scale benchmarks can
+    /// measure the index against an honest baseline. The deadline index
+    /// is still maintained, so the toggle can flip at any time; answers
+    /// are identical in both modes.
+    pub fn set_linear_scan(&mut self, on: bool) {
+        self.linear_scan = on;
+    }
+
+    /// Whether watchdog queries use the retired linear scans.
+    pub fn linear_scan(&self) -> bool {
+        self.linear_scan
     }
 
     /// The tracker's job class.
@@ -138,11 +197,23 @@ impl JobTracker {
     }
 
     /// Submits one job for `payload` at time `at`, with the configured
-    /// (jittered) runtime.
+    /// (jittered) runtime. Interns the payload; resubmission paths use
+    /// [`JobTracker::submit_interned`] to reuse the existing allocation.
     pub fn submit(
         &mut self,
         launcher: &mut dyn Launcher,
         payload: &str,
+        at: SimTime,
+        rng: &mut StdRng,
+    ) -> JobId {
+        self.submit_interned(launcher, Arc::from(payload), at, rng)
+    }
+
+    /// [`JobTracker::submit`] with an already-interned payload.
+    pub fn submit_interned(
+        &mut self,
+        launcher: &mut dyn Launcher,
+        payload: PayloadId,
         at: SimTime,
         rng: &mut StdRng,
     ) -> JobId {
@@ -152,7 +223,7 @@ impl JobTracker {
             1.0
         };
         let runtime = self.cfg.runtime.mul_f64(jitter);
-        self.submit_with(launcher, payload, at, runtime, rng)
+        self.submit_interned_with(launcher, payload, at, runtime, rng)
     }
 
     /// Submits one job with an explicit runtime (per-payload runtime
@@ -165,6 +236,18 @@ impl JobTracker {
         runtime: SimDuration,
         rng: &mut StdRng,
     ) -> JobId {
+        self.submit_interned_with(launcher, Arc::from(payload), at, runtime, rng)
+    }
+
+    /// [`JobTracker::submit_with`] with an already-interned payload.
+    pub fn submit_interned_with(
+        &mut self,
+        launcher: &mut dyn Launcher,
+        payload: PayloadId,
+        at: SimTime,
+        runtime: SimDuration,
+        rng: &mut StdRng,
+    ) -> JobId {
         let mut spec = JobSpec::new(self.cfg.class, self.cfg.shape, runtime);
         if self.cfg.failure_prob > 0.0 && rng.gen_bool(self.cfg.failure_prob) {
             spec = spec.failing();
@@ -173,39 +256,66 @@ impl JobTracker {
         self.live.insert(
             id,
             LiveJob {
-                payload: payload.to_string(),
+                payload: payload.clone(),
                 placed_at: None,
                 runtime,
             },
         );
-        *self.attempts.entry(payload.to_string()).or_insert(0) += 1;
+        *self.attempts.entry(payload).or_insert(0) += 1;
         self.submitted += 1;
         id
     }
 
-    /// The timeout watchdog: cancels placed jobs that have overstayed
-    /// `grace` times their submitted runtime (a hung job never reports
-    /// completion, so the scheduler alone cannot reclaim it — §4.4's
-    /// "jobs may hang" failure). Canceled payloads are resubmitted under
-    /// the usual budget; the returned [`Tracked`]s describe what happened.
-    /// With `grace > 1` a healthy job always finishes first, so only
-    /// genuinely hung jobs expire.
+    /// The timeout watchdog: cancels placed jobs that have overstayed the
+    /// configured grace factor times their submitted runtime (a hung job
+    /// never reports completion, so the scheduler alone cannot reclaim it
+    /// — §4.4's "jobs may hang" failure). Canceled payloads are
+    /// resubmitted under the usual budget; the returned [`Tracked`]s
+    /// describe what happened. With a grace factor above 1 a healthy job
+    /// always finishes first, so only genuinely hung jobs expire. No-op
+    /// until [`JobTracker::set_timeout_grace`] enables the watchdog.
+    ///
+    /// Overdue jobs come straight off the front of the deadline index; no
+    /// live-table scan happens (unless [`JobTracker::set_linear_scan`]
+    /// re-enables the retired scan for benchmarking). They are processed
+    /// in job-id (submission) order, exactly as the retired scanning
+    /// implementation did, so resubmission order — and therefore the
+    /// trace — is unchanged.
     pub fn expire_overdue(
         &mut self,
         launcher: &mut dyn Launcher,
         now: SimTime,
-        grace: f64,
         rng: &mut StdRng,
     ) -> Vec<Tracked> {
-        let overdue: Vec<JobId> = self
-            .live
-            .iter()
-            .filter(|(_, job)| {
-                job.placed_at
-                    .is_some_and(|p| now.since(p) > job.runtime.mul_f64(grace))
-            })
-            .map(|(&id, _)| id)
-            .collect();
+        if self.timeout_grace <= 0.0 {
+            return Vec::new();
+        }
+        let mut overdue: Vec<JobId> = Vec::new();
+        if self.linear_scan {
+            // The retired full-table scan, kept as the benchmark
+            // baseline. `now - placed > runtime × grace` is the same
+            // predicate as `deadline < now` in integer microseconds.
+            for (&id, job) in &self.live {
+                if let Some(p) = job.placed_at {
+                    if now.since(p) > job.runtime.mul_f64(self.timeout_grace) {
+                        overdue.push(id);
+                        self.deadlines
+                            .remove(&(p + job.runtime.mul_f64(self.timeout_grace), id));
+                    }
+                }
+            }
+        } else {
+            while let Some(&(deadline, id)) = self.deadlines.first() {
+                // `>` in the retired scan (`now - placed > runtime × grace`)
+                // means a job expires strictly after its deadline.
+                if deadline >= now {
+                    break;
+                }
+                self.deadlines.pop_first();
+                overdue.push(id);
+            }
+            overdue.sort_unstable();
+        }
         let mut out = Vec::new();
         for id in overdue {
             launcher.cancel(id);
@@ -216,7 +326,7 @@ impl JobTracker {
             let payload = job.payload;
             let attempt = self.attempts.get(&payload).copied().unwrap_or(0);
             if attempt <= self.cfg.max_resubmits {
-                self.submit(launcher, &payload, now, rng);
+                self.submit_interned(launcher, payload.clone(), now, rng);
                 out.push(Tracked::Resubmitted {
                     payload,
                     attempt: attempt + 1,
@@ -230,15 +340,27 @@ impl JobTracker {
     }
 
     /// The earliest instant at which a currently-placed job becomes
-    /// overdue under `grace` (see [`JobTracker::expire_overdue`], whose
-    /// `>` comparison means expiry happens strictly *after* this instant).
-    /// `None` when nothing is placed. Event-driven drivers use this as the
-    /// watchdog's next deadline instead of scanning every tick.
-    pub fn earliest_timeout(&self, grace: f64) -> Option<SimTime> {
-        self.live
-            .values()
-            .filter_map(|job| job.placed_at.map(|p| p + job.runtime.mul_f64(grace)))
-            .min()
+    /// overdue (see [`JobTracker::expire_overdue`], whose `>` comparison
+    /// means expiry happens strictly *after* this instant). `None` when
+    /// nothing is placed or the watchdog is disabled. Event-driven
+    /// drivers use this as the watchdog's next deadline instead of
+    /// scanning every tick; it is one ordered-set peek.
+    pub fn earliest_timeout(&self) -> Option<SimTime> {
+        if self.linear_scan {
+            // Retired full-table min scan (benchmark baseline).
+            if self.timeout_grace <= 0.0 {
+                return None;
+            }
+            return self
+                .live
+                .values()
+                .filter_map(|job| {
+                    job.placed_at
+                        .map(|p| p + job.runtime.mul_f64(self.timeout_grace))
+                })
+                .min();
+        }
+        self.deadlines.first().map(|&(deadline, _)| deadline)
     }
 
     /// Routes a scheduler event owned by this tracker. Returns `None` for
@@ -254,13 +376,22 @@ impl JobTracker {
             JobEvent::Placed { id, at } => {
                 let job = self.live.get_mut(&id)?;
                 job.placed_at = Some(at);
-                Some(Tracked::Started {
-                    job: id,
-                    payload: job.payload.clone(),
-                })
+                let payload = job.payload.clone();
+                if self.timeout_grace > 0.0 {
+                    let deadline = at + job.runtime.mul_f64(self.timeout_grace);
+                    self.deadlines.insert((deadline, id));
+                }
+                Some(Tracked::Started { job: id, payload })
             }
             JobEvent::Finished { id, at, success } => {
-                let payload = self.live.remove(&id)?.payload;
+                let job = self.live.remove(&id)?;
+                if self.timeout_grace > 0.0 {
+                    if let Some(p) = job.placed_at {
+                        self.deadlines
+                            .remove(&(p + job.runtime.mul_f64(self.timeout_grace), id));
+                    }
+                }
+                let payload = job.payload;
                 if success {
                     self.completed += 1;
                     self.attempts.remove(&payload);
@@ -269,7 +400,7 @@ impl JobTracker {
                     self.failed += 1;
                     let attempt = self.attempts.get(&payload).copied().unwrap_or(0);
                     if attempt <= self.cfg.max_resubmits {
-                        self.submit(launcher, &payload, at, rng);
+                        self.submit_interned(launcher, payload.clone(), at, rng);
                         Some(Tracked::Resubmitted {
                             payload,
                             attempt: attempt + 1,
@@ -369,7 +500,7 @@ mod tests {
                         assert!(attempt <= 3);
                     }
                     Some(Tracked::Abandoned { payload }) => {
-                        assert_eq!(payload, "doomed");
+                        assert_eq!(&*payload, "doomed");
                         abandoned = true;
                     }
                     _ => {}
@@ -388,6 +519,7 @@ mod tests {
     fn hung_jobs_expire_and_resubmit() {
         let mut l = launcher(1);
         let mut t = sim_tracker(0.0);
+        t.set_timeout_grace(1.5);
         let mut rng = StdRng::seed_from_u64(5);
         let id = t.submit(&mut l, "patch-7", SimTime::ZERO, &mut rng);
         for e in l.poll(SimTime::from_secs(1)) {
@@ -396,10 +528,10 @@ mod tests {
         l.hang_running(JobClass::CgSim, SimTime::from_mins(1));
 
         // Within 1.5x the 10-min runtime nothing expires.
-        let none = t.expire_overdue(&mut l, SimTime::from_mins(12), 1.5, &mut rng);
+        let none = t.expire_overdue(&mut l, SimTime::from_mins(12), &mut rng);
         assert!(none.is_empty());
         // Past the grace window the hung job is canceled and resubmitted.
-        let tracked = t.expire_overdue(&mut l, SimTime::from_mins(16), 1.5, &mut rng);
+        let tracked = t.expire_overdue(&mut l, SimTime::from_mins(16), &mut rng);
         assert_eq!(
             tracked,
             vec![Tracked::Resubmitted {
@@ -428,6 +560,7 @@ mod tests {
                 SimDuration::from_mins(10),
             )
         });
+        t.set_timeout_grace(1.5);
         let mut rng = StdRng::seed_from_u64(6);
         t.submit(&mut l, "cursed", SimTime::ZERO, &mut rng);
         let mut resubmits = 0;
@@ -443,11 +576,11 @@ mod tests {
             for e in l.poll(now) {
                 t.on_event(&mut l, &e, &mut rng);
             }
-            for tracked in t.expire_overdue(&mut l, now, 1.5, &mut rng) {
+            for tracked in t.expire_overdue(&mut l, now, &mut rng) {
                 match tracked {
                     Tracked::Resubmitted { .. } => resubmits += 1,
                     Tracked::Abandoned { payload } => {
-                        assert_eq!(payload, "cursed");
+                        assert_eq!(&*payload, "cursed");
                         abandoned = true;
                     }
                     _ => {}

@@ -33,7 +33,7 @@ use trace::Tracer;
 
 use crate::config::WmConfig;
 use crate::feedback::{AaToCgFeedback, CgParams, CgToContinuumFeedback, FeedbackManager};
-use crate::tracker::{JobTracker, Tracked, TrackerConfig};
+use crate::tracker::{JobTracker, PayloadId, Tracked, TrackerConfig};
 
 /// Notifications the WM hands back to its driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,43 +41,43 @@ pub enum WmEvent {
     /// A createsim job finished; its CG system is ready to simulate.
     CgSetupDone {
         /// The source patch id.
-        patch_id: String,
+        patch_id: PayloadId,
     },
     /// A CG simulation was placed on a GPU.
     CgSimStarted {
         /// Scheduler job id.
         job: JobId,
         /// Simulation id (= patch id).
-        sim_id: String,
+        sim_id: PayloadId,
     },
     /// A CG simulation finished.
     CgSimFinished {
         /// Simulation id.
-        sim_id: String,
+        sim_id: PayloadId,
     },
     /// A backmapping job finished; its AA system is ready to simulate.
     AaSetupDone {
         /// The source CG frame id.
-        frame_id: String,
+        frame_id: PayloadId,
     },
     /// An AA simulation was placed on a GPU.
     AaSimStarted {
         /// Scheduler job id.
         job: JobId,
         /// Simulation id (= frame id).
-        sim_id: String,
+        sim_id: PayloadId,
     },
     /// An AA simulation finished.
     AaSimFinished {
         /// Simulation id.
-        sim_id: String,
+        sim_id: PayloadId,
     },
     /// A job failed and was resubmitted.
     JobResubmitted {
         /// Which class failed.
         class: JobClass,
         /// Application payload.
-        payload: String,
+        payload: PayloadId,
     },
     /// A payload exhausted its resubmission budget and was permanently
     /// given up on (terminal — it will never be submitted again).
@@ -85,7 +85,7 @@ pub enum WmEvent {
         /// Which class gave up.
         class: JobClass,
         /// Application payload.
-        payload: String,
+        payload: PayloadId,
     },
     /// CG→continuum feedback produced updated coupling parameters.
     CouplingUpdated(CouplingParams),
@@ -138,10 +138,10 @@ pub struct WorkflowManager<L: Launcher> {
     profiler: OccupancyProfiler,
     cg_timeline: Timeline,
     aa_timeline: Timeline,
-    /// Patch ids whose createsim completed, awaiting a GPU.
-    cg_ready: VecDeque<String>,
-    /// Frame ids whose backmapping completed, awaiting a GPU.
-    aa_ready: VecDeque<String>,
+    /// Patch ids whose createsim completed, awaiting a GPU (interned).
+    cg_ready: VecDeque<PayloadId>,
+    /// Frame ids whose backmapping completed, awaiting a GPU (interned).
+    aa_ready: VecDeque<PayloadId>,
     next_feedback: SimTime,
     next_profile: SimTime,
     stats: WmStats,
@@ -175,12 +175,15 @@ impl<L: Launcher> WorkflowManager<L> {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let throttle = Throttle::per_minute(cfg.submit_rate_per_min);
         let mk = |class, shape, runtime| {
-            JobTracker::new(TrackerConfig {
+            let mut t = JobTracker::new(TrackerConfig {
                 runtime_jitter: 0.2,
                 failure_prob: cfg.job_failure_prob,
                 max_resubmits: cfg.max_resubmits,
                 ..TrackerConfig::new(class, shape, runtime)
-            })
+            });
+            t.set_timeout_grace(cfg.job_timeout_grace);
+            t.set_linear_scan(cfg.linear_scan);
+            t
         };
         WorkflowManager {
             cg_setup: mk(JobClass::CgSetup, JobShape::setup(), cfg.cg_setup_runtime),
@@ -303,9 +306,15 @@ impl<L: Launcher> WorkflowManager<L> {
     }
 
     /// Ingests new patch candidates (Task 1 output).
-    pub fn add_patch_candidates(&mut self, points: Vec<HdPoint>) {
+    pub fn add_patch_candidates(&mut self, mut points: Vec<HdPoint>) {
+        self.add_patch_candidates_from(&mut points);
+    }
+
+    /// [`WorkflowManager::add_patch_candidates`] draining a caller-owned
+    /// buffer, so a driver loop can reuse one allocation across ticks.
+    pub fn add_patch_candidates_from(&mut self, points: &mut Vec<HdPoint>) {
         self.stats.patches_ingested += points.len() as u64;
-        for p in points {
+        for p in points.drain(..) {
             if self.cfg.record_history {
                 self.patch_history.record_add(&p);
             }
@@ -314,9 +323,15 @@ impl<L: Launcher> WorkflowManager<L> {
     }
 
     /// Ingests new CG-frame candidates (from the distributed CG analyses).
-    pub fn add_frame_candidates(&mut self, points: Vec<HdPoint>) {
+    pub fn add_frame_candidates(&mut self, mut points: Vec<HdPoint>) {
+        self.add_frame_candidates_from(&mut points);
+    }
+
+    /// [`WorkflowManager::add_frame_candidates`] draining a caller-owned
+    /// buffer (see [`WorkflowManager::add_patch_candidates_from`]).
+    pub fn add_frame_candidates_from(&mut self, points: &mut Vec<HdPoint>) {
         self.stats.frames_ingested += points.len() as u64;
-        for p in points {
+        for p in points.drain(..) {
             if self.cfg.record_history {
                 self.frame_history.record_add(&p);
             }
@@ -340,9 +355,8 @@ impl<L: Launcher> WorkflowManager<L> {
             next = next.min(t);
         }
         if self.cfg.job_timeout_grace > 0.0 {
-            let grace = self.cfg.job_timeout_grace;
             for tr in [&self.cg_setup, &self.cg_sim, &self.aa_setup, &self.aa_sim] {
-                if let Some(deadline) = tr.earliest_timeout(grace) {
+                if let Some(deadline) = tr.earliest_timeout() {
                     // `expire_overdue` uses a strict comparison, so the
                     // job is only reclaimable just past its deadline.
                     next = next.min(deadline + eps);
@@ -355,18 +369,31 @@ impl<L: Launcher> WorkflowManager<L> {
     /// One WM cycle at time `now`: poll jobs, replace finished ones, keep
     /// buffers stocked, run feedback and profiling when due.
     pub fn tick(&mut self, now: SimTime, store: &mut dyn DataStore) -> Vec<WmEvent> {
+        let mut events = Vec::new();
+        self.tick_into(now, store, &mut events);
+        events
+    }
+
+    /// [`WorkflowManager::tick`] writing into a caller-owned buffer
+    /// (cleared first), so a driver loop can reuse one allocation across
+    /// ticks instead of constructing a fresh `Vec` per cycle.
+    pub fn tick_into(
+        &mut self,
+        now: SimTime,
+        store: &mut dyn DataStore,
+        events: &mut Vec<WmEvent>,
+    ) {
         // Keep the tracer clock current so emitters without a time
         // parameter (datastore ops, cancellations) stamp correctly.
         self.tracer.set_now(now);
         self.tracer.instant_at(now, "wm", "wm.tick", &[]);
-        let mut events = Vec::new();
-        self.poll_jobs(now, &mut events);
-        self.expire_hung_jobs(now, &mut events);
-        self.maintain_sims(now, &mut events);
+        events.clear();
+        self.poll_jobs(now, events);
+        self.expire_hung_jobs(now, events);
+        self.maintain_sims(now, events);
         self.maintain_setups(now);
-        self.run_feedback(now, store, &mut events);
+        self.run_feedback(now, store, events);
         self.sample_profile(now);
-        events
     }
 
     /// Task 3: scan all running jobs, determine completion, route events.
@@ -481,7 +508,6 @@ impl<L: Launcher> WorkflowManager<L> {
         if self.cfg.job_timeout_grace <= 0.0 {
             return;
         }
-        let grace = self.cfg.job_timeout_grace;
         // Iterate trackers in a fixed order (determinism contract).
         for which in 0..4usize {
             let tracker = match which {
@@ -491,7 +517,7 @@ impl<L: Launcher> WorkflowManager<L> {
                 _ => &mut self.aa_sim,
             };
             let class = tracker.class();
-            let expired = tracker.expire_overdue(&mut self.launcher, now, grace, &mut self.rng);
+            let expired = tracker.expire_overdue(&mut self.launcher, now, &mut self.rng);
             for tracked in expired {
                 self.stats.jobs_timed_out += 1;
                 match tracked {
@@ -502,7 +528,7 @@ impl<L: Launcher> WorkflowManager<L> {
                             "wm.timeout",
                             &[
                                 ("class", class.label().into()),
-                                ("payload", payload.as_str().into()),
+                                ("payload", (&*payload).into()),
                                 ("attempt", attempt.into()),
                             ],
                         );
@@ -516,7 +542,7 @@ impl<L: Launcher> WorkflowManager<L> {
                             "wm.timeout",
                             &[
                                 ("class", class.label().into()),
-                                ("payload", payload.as_str().into()),
+                                ("payload", (&*payload).into()),
                             ],
                         );
                         self.tracer.counter_add("wm.timeouts", 1);
@@ -535,7 +561,7 @@ impl<L: Launcher> WorkflowManager<L> {
         &mut self,
         now: SimTime,
         class: JobClass,
-        payload: String,
+        payload: PayloadId,
         events: &mut Vec<WmEvent>,
     ) {
         self.stats.jobs_abandoned += 1;
@@ -545,7 +571,7 @@ impl<L: Launcher> WorkflowManager<L> {
             "wm.gave_up",
             &[
                 ("class", class.label().into()),
-                ("payload", payload.as_str().into()),
+                ("payload", (&*payload).into()),
             ],
         );
         self.tracer.counter_add("wm.gave_up", 1);
@@ -588,12 +614,17 @@ impl<L: Launcher> WorkflowManager<L> {
                 .and_then(|m| m(JobClass::CgSim, &sim_id))
             {
                 Some(rt) => {
-                    self.cg_sim
-                        .submit_with(&mut self.launcher, &sim_id, at, rt, &mut self.rng);
+                    self.cg_sim.submit_interned_with(
+                        &mut self.launcher,
+                        sim_id,
+                        at,
+                        rt,
+                        &mut self.rng,
+                    );
                 }
                 None => {
                     self.cg_sim
-                        .submit(&mut self.launcher, &sim_id, at, &mut self.rng);
+                        .submit_interned(&mut self.launcher, sim_id, at, &mut self.rng);
                 }
             }
             let _ = events; // started events arrive via poll on placement
@@ -613,12 +644,17 @@ impl<L: Launcher> WorkflowManager<L> {
                 .and_then(|m| m(JobClass::AaSim, &sim_id))
             {
                 Some(rt) => {
-                    self.aa_sim
-                        .submit_with(&mut self.launcher, &sim_id, at, rt, &mut self.rng);
+                    self.aa_sim.submit_interned_with(
+                        &mut self.launcher,
+                        sim_id,
+                        at,
+                        rt,
+                        &mut self.rng,
+                    );
                 }
                 None => {
                     self.aa_sim
-                        .submit(&mut self.launcher, &sim_id, at, &mut self.rng);
+                        .submit_interned(&mut self.launcher, sim_id, at, &mut self.rng);
                 }
             }
         }
@@ -813,8 +849,8 @@ impl<L: Launcher> WorkflowManager<L> {
     pub fn checkpoint(&self) -> WmCheckpoint {
         WmCheckpoint {
             stats: self.stats,
-            cg_ready: self.cg_ready.iter().cloned().collect(),
-            aa_ready: self.aa_ready.iter().cloned().collect(),
+            cg_ready: self.cg_ready.iter().map(|p| p.to_string()).collect(),
+            aa_ready: self.aa_ready.iter().map(|p| p.to_string()).collect(),
             patch_history: self.patch_history.compact().to_text(),
             frame_history: self.frame_history.compact().to_text(),
         }
@@ -825,8 +861,16 @@ impl<L: Launcher> WorkflowManager<L> {
     /// reconstructing their candidate queues and selected sets exactly.
     pub fn restore(&mut self, ckpt: &WmCheckpoint) {
         self.stats = ckpt.stats;
-        self.cg_ready = ckpt.cg_ready.iter().cloned().collect();
-        self.aa_ready = ckpt.aa_ready.iter().cloned().collect();
+        self.cg_ready = ckpt
+            .cg_ready
+            .iter()
+            .map(|s| PayloadId::from(s.as_str()))
+            .collect();
+        self.aa_ready = ckpt
+            .aa_ready
+            .iter()
+            .map(|s| PayloadId::from(s.as_str()))
+            .collect();
         if let Some(h) = History::from_text(&ckpt.patch_history) {
             h.replay(self.patch_selector.as_mut());
             self.patch_history = h;

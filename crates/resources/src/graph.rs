@@ -64,6 +64,86 @@ struct NodeState {
     drained: bool,
 }
 
+/// Segment tree over node IDs holding per-segment maxima of free-GPU and
+/// free-core *counts*. `first_candidate` descends left-first to the lowest
+/// node ID at or above a cursor whose counts satisfy a shape's demand —
+/// O(log n) against the linear matcher's O(n) rescan. Counts are necessary
+/// but not sufficient (affinity can still fail on a fragmented node), so
+/// callers re-verify candidates with the full per-node matcher. Drained
+/// nodes are recorded as (0, 0) so the descent skips them wholesale.
+#[derive(Debug, Clone)]
+struct FreeIndex {
+    /// Number of leaves (next power of two ≥ node count; padding is zero).
+    leaves: usize,
+    /// Max free-GPU count per segment; entry 1 is the root, leaf `i` lives
+    /// at `leaves + i`.
+    gpus: Vec<u8>,
+    /// Max free-core count per segment (node cores ≤ 64 fits in u8).
+    cores: Vec<u8>,
+}
+
+impl FreeIndex {
+    fn build(per_node: impl ExactSizeIterator<Item = (u8, u8)>) -> FreeIndex {
+        let leaves = per_node.len().next_power_of_two().max(1);
+        let mut gpus = vec![0u8; 2 * leaves];
+        let mut cores = vec![0u8; 2 * leaves];
+        for (i, (g, c)) in per_node.enumerate() {
+            gpus[leaves + i] = g;
+            cores[leaves + i] = c;
+        }
+        for i in (1..leaves).rev() {
+            gpus[i] = gpus[2 * i].max(gpus[2 * i + 1]);
+            cores[i] = cores[2 * i].max(cores[2 * i + 1]);
+        }
+        FreeIndex {
+            leaves,
+            gpus,
+            cores,
+        }
+    }
+
+    /// Point-updates leaf `id` and recomputes aggregates up to the root.
+    fn set(&mut self, id: usize, gpus: u8, cores: u8) {
+        let mut i = self.leaves + id;
+        self.gpus[i] = gpus;
+        self.cores[i] = cores;
+        while i > 1 {
+            i /= 2;
+            self.gpus[i] = self.gpus[2 * i].max(self.gpus[2 * i + 1]);
+            self.cores[i] = self.cores[2 * i].max(self.cores[2 * i + 1]);
+        }
+    }
+
+    /// Lowest leaf ID ≥ `from` with at least `gpus` free GPUs *and*
+    /// `cores` free cores, by count. `None` if no leaf qualifies.
+    fn first_candidate(&self, from: usize, gpus: u8, cores: u8) -> Option<usize> {
+        if from >= self.leaves {
+            return None;
+        }
+        self.descend(1, 0, self.leaves, from, gpus, cores)
+    }
+
+    fn descend(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        g: u8,
+        c: u8,
+    ) -> Option<usize> {
+        if hi <= from || self.gpus[node] < g || self.cores[node] < c {
+            return None;
+        }
+        if hi - lo == 1 {
+            return Some(lo);
+        }
+        let mid = lo.midpoint(hi);
+        self.descend(2 * node, lo, mid, from, g, c)
+            .or_else(|| self.descend(2 * node + 1, mid, hi, from, g, c))
+    }
+}
+
 /// Allocation state for a whole machine plus matcher instrumentation.
 #[derive(Debug, Clone)]
 pub struct ResourceGraph {
@@ -78,6 +158,15 @@ pub struct ResourceGraph {
     /// touches it. This is the pruning that makes greedy first-match fast
     /// even on a nearly-full 4000-node graph.
     scan_hints: HashMap<JobShape, usize>,
+    /// Count index over free resources, kept in sync with `nodes` on every
+    /// commit/release/drain/undrain.
+    index: FreeIndex,
+    /// When set, `try_alloc` uses the retained O(n) linear matcher instead
+    /// of the segment-tree descent. The linear matcher is the differential
+    /// oracle for the index (`tests/alloc_props.rs` in `sched`) and the
+    /// pre-index engine for benchmark comparisons; both paths pick the same
+    /// nodes and report the same virtual visit counts.
+    linear_scan: bool,
 }
 
 impl ResourceGraph {
@@ -90,22 +179,98 @@ impl ResourceGraph {
         assert!(spec.node.gpus <= 8, "gpu bitmask limit is 8");
         let all_cores = mask_lo_u64(spec.node.cores());
         let all_gpus = mask_lo_u8(spec.node.gpus);
+        let nodes = vec![
+            NodeState {
+                free_cores: all_cores,
+                free_gpus: all_gpus,
+                drained: false,
+            };
+            spec.nodes as usize
+        ];
+        let index = FreeIndex::build(nodes.iter().map(|n| {
+            (
+                n.free_gpus.count_ones() as u8,
+                n.free_cores.count_ones() as u8,
+            )
+        }));
         ResourceGraph {
-            nodes: vec![
-                NodeState {
-                    free_cores: all_cores,
-                    free_gpus: all_gpus,
-                    drained: false,
-                };
-                spec.nodes as usize
-            ],
+            nodes,
             spec,
             used_cores: 0,
             used_gpus: 0,
             visited_last: 0,
             visited_total: 0,
             scan_hints: HashMap::new(),
+            index,
+            linear_scan: false,
         }
+    }
+
+    /// Selects the retained O(n) linear matcher (`true`) or the indexed
+    /// matcher (`false`, the default). Both produce identical allocations,
+    /// visit counts, and scan-hint state; the toggle exists so benchmarks
+    /// and property tests can compare the engines at the same seed.
+    pub fn set_linear_scan(&mut self, on: bool) {
+        self.linear_scan = on;
+    }
+
+    /// Whether the retained linear matcher is active.
+    pub fn linear_scan(&self) -> bool {
+        self.linear_scan
+    }
+
+    /// Per-node `(free core mask, free GPU mask)` snapshot, in node-ID
+    /// order — the ground truth that claim/release round-trip tests and
+    /// the index validator compare against.
+    pub fn free_masks(&self) -> Vec<(u64, u8)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.free_cores, n.free_gpus))
+            .collect()
+    }
+
+    /// Checks every segment-tree aggregate against the node table.
+    /// Diagnostic for property tests; `Err` names the first mismatch.
+    pub fn validate_index(&self) -> Result<(), String> {
+        for (id, n) in self.nodes.iter().enumerate() {
+            let (want_g, want_c) = if n.drained {
+                (0u8, 0u8)
+            } else {
+                (
+                    n.free_gpus.count_ones() as u8,
+                    n.free_cores.count_ones() as u8,
+                )
+            };
+            let leaf = self.index.leaves + id;
+            if self.index.gpus[leaf] != want_g || self.index.cores[leaf] != want_c {
+                return Err(format!(
+                    "leaf {id}: index ({}, {}) != node ({want_g}, {want_c})",
+                    self.index.gpus[leaf], self.index.cores[leaf]
+                ));
+            }
+        }
+        for i in 1..self.index.leaves {
+            let g = self.index.gpus[2 * i].max(self.index.gpus[2 * i + 1]);
+            let c = self.index.cores[2 * i].max(self.index.cores[2 * i + 1]);
+            if self.index.gpus[i] != g || self.index.cores[i] != c {
+                return Err(format!("segment {i}: stale aggregate"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-derives node `id`'s leaf in the free index from its masks.
+    fn reindex(&mut self, id: usize) {
+        let n = &self.nodes[id];
+        let (g, c) = if n.drained {
+            (0, 0)
+        } else {
+            (
+                n.free_gpus.count_ones() as u8,
+                n.free_cores.count_ones() as u8,
+            )
+        };
+        self.index.set(id, g, c);
     }
 
     /// The machine description.
@@ -143,11 +308,13 @@ impl ResourceGraph {
     /// it. This is Flux's node-failure response the paper leans on.
     pub fn drain(&mut self, node: NodeId) {
         self.nodes[node as usize].drained = true;
+        self.reindex(node as usize);
     }
 
     /// Returns a drained node to service.
     pub fn undrain(&mut self, node: NodeId) {
         self.nodes[node as usize].drained = false;
+        self.reindex(node as usize);
         for hint in self.scan_hints.values_mut() {
             *hint = (*hint).min(node as usize);
         }
@@ -160,7 +327,27 @@ impl ResourceGraph {
 
     /// Attempts to allocate `shape` under `policy`. Returns `None` when the
     /// request cannot currently be satisfied (nothing is held in that case).
+    ///
+    /// Two interchangeable engines sit behind this call: the default
+    /// segment-tree descent and the retained linear scan
+    /// ([`ResourceGraph::set_linear_scan`]). Both select the lowest-ID
+    /// feasible nodes and charge the *policy's* visit cost — for
+    /// [`MatchPolicy::LowIdExhaustive`] that is always the full node count
+    /// (the modeled Flux traversal), for [`MatchPolicy::FirstMatch`] the
+    /// span actually scanned — so virtual-time traces are byte-identical
+    /// whichever engine runs.
     pub fn try_alloc(&mut self, shape: &JobShape, policy: MatchPolicy) -> Option<Alloc> {
+        if self.linear_scan {
+            self.try_alloc_linear(shape, policy)
+        } else {
+            self.try_alloc_indexed(shape, policy)
+        }
+    }
+
+    /// The retained pre-index matcher: a straight O(nodes) scan. Kept as
+    /// the differential oracle for the segment-tree path and as the
+    /// "before" engine in scale benchmarks.
+    fn try_alloc_linear(&mut self, shape: &JobShape, policy: MatchPolicy) -> Option<Alloc> {
         let want = shape.nodes as usize;
         if want == 0 {
             return Some(Alloc { slices: vec![] });
@@ -202,6 +389,78 @@ impl ResourceGraph {
         Some(Alloc { slices: found })
     }
 
+    /// Indexed matcher: segment-tree descent to each successive candidate,
+    /// re-verified by the full per-node matcher (counts can pass while
+    /// affinity fails on a fragmented node). Selection order is identical
+    /// to the linear scan — lowest feasible IDs first — and the reported
+    /// visit counts and final scan-hint values reproduce the linear scan's
+    /// arithmetic exactly, which is what keeps same-seed traces
+    /// byte-identical across engines.
+    fn try_alloc_indexed(&mut self, shape: &JobShape, policy: MatchPolicy) -> Option<Alloc> {
+        let want = shape.nodes as usize;
+        if want == 0 {
+            return Some(Alloc { slices: vec![] });
+        }
+        let exhaustive = policy == MatchPolicy::LowIdExhaustive;
+        let len = self.nodes.len();
+        let start = if exhaustive {
+            0
+        } else {
+            *self.scan_hints.get(shape).unwrap_or(&0)
+        };
+        let need_gpus = shape.gpus_per_node.min(255) as u8;
+        let need_cores = shape.cores_per_node.min(255) as u8;
+        let mut found: Vec<NodeAlloc> = Vec::with_capacity(want);
+        let mut first_feasible: Option<usize> = None;
+        let mut cursor = start;
+        while found.len() < want && cursor < len {
+            let Some(id) = self.index.first_candidate(cursor, need_gpus, need_cores) else {
+                break;
+            };
+            if id >= len {
+                break; // zero-padded leaves past the last real node
+            }
+            if let Some(slice) = self.match_node(id as NodeId, shape) {
+                first_feasible.get_or_insert(id);
+                found.push(slice);
+            }
+            cursor = id + 1;
+        }
+        // Charge the policy's modeled traversal cost, not the descent's:
+        // exhaustive low-ID pays the full graph walk; first-match pays the
+        // node span the linear scan would have covered.
+        let visited = if exhaustive {
+            len as u64
+        } else if found.len() == want {
+            (found.last().expect("want > 0").node as usize - start + 1) as u64
+        } else {
+            (len - start) as u64
+        };
+        self.visited_last = visited;
+        self.visited_total += visited;
+        if !exhaustive {
+            // The linear scan bumps the hint past every leading infeasible
+            // node; its final value is the first feasible ID (or the node
+            // count when nothing matched at all).
+            match first_feasible {
+                Some(f) if f > start => {
+                    self.scan_hints.insert(*shape, f);
+                }
+                None if len > start => {
+                    self.scan_hints.insert(*shape, len);
+                }
+                _ => {}
+            }
+        }
+        if found.len() < want {
+            return None;
+        }
+        for slice in &found {
+            self.commit(slice);
+        }
+        Some(Alloc { slices: found })
+    }
+
     /// Releases an allocation obtained from [`ResourceGraph::try_alloc`].
     ///
     /// # Panics
@@ -221,6 +480,7 @@ impl ResourceGraph {
             node.free_gpus |= s.gpu_mask;
             self.used_cores -= s.core_mask.count_ones() as u64;
             self.used_gpus -= s.gpu_mask.count_ones() as u64;
+            self.reindex(s.node as usize);
         }
     }
 
@@ -230,6 +490,7 @@ impl ResourceGraph {
         node.free_gpus &= !s.gpu_mask;
         self.used_cores += s.core_mask.count_ones() as u64;
         self.used_gpus += s.gpu_mask.count_ones() as u64;
+        self.reindex(s.node as usize);
     }
 
     /// Tries to carve one node-slice of `shape` out of node `id`.

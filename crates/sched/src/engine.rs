@@ -97,9 +97,10 @@ pub struct SchedEngine {
     coupling: Coupling,
     costs: Costs,
     next_id: u64,
-    /// Ordered by id so every whole-table scan (e.g. finding a failed
-    /// node's victims) visits jobs in submission order — part of the
-    /// determinism contract (no HashMap iteration in coordination paths).
+    /// Ordered by id so any iteration visits jobs in submission order —
+    /// part of the determinism contract (no HashMap iteration in
+    /// coordination paths). Hot paths go through the `running`/`residency`
+    /// indexes instead of scanning this ever-growing table.
     jobs: BTreeMap<JobId, JobRecord>,
     /// Submissions not yet ingested by Q: (submit time, id).
     inbox: VecDeque<(SimTime, JobId)>,
@@ -115,6 +116,14 @@ pub struct SchedEngine {
     head_blocked: bool,
     /// (running, pending) per class, iterated in class order.
     class_counts: BTreeMap<JobClass, (u64, u64)>,
+    /// Every job currently in [`JobState::Running`] (hung jobs included),
+    /// keyed `(class, id)` so a class's running set is one ordered range.
+    /// Replaces whole-`jobs`-table scans, which grow with every job ever
+    /// submitted because terminal records are retained.
+    running: BTreeSet<(JobClass, JobId)>,
+    /// Running jobs holding resources on each node, in id (= submission)
+    /// order — the `fail_node` victim index.
+    residency: BTreeMap<resources::NodeId, BTreeSet<JobId>>,
     /// Nodes already reported failed, so a repeated `fail_node` on a
     /// still-drained node is a no-op instead of double-counting.
     failed_nodes: BTreeSet<resources::NodeId>,
@@ -148,6 +157,8 @@ impl SchedEngine {
             r_free_at: SimTime::ZERO,
             head_blocked: false,
             class_counts: BTreeMap::new(),
+            running: BTreeSet::new(),
+            residency: BTreeMap::new(),
             failed_nodes: BTreeSet::new(),
             stats: SchedStats::default(),
             pending_events: Vec::new(),
@@ -176,27 +187,24 @@ impl SchedEngine {
         }
         self.failed_nodes.insert(node);
         self.graph.drain(node);
+        // The residency index holds exactly the running jobs with a slice
+        // on this node, already in id (= submission) order.
         let victims: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, rec)| {
-                rec.state.current() == JobState::Running
-                    && rec
-                        .alloc
-                        .as_ref()
-                        .is_some_and(|a| a.slices.iter().any(|s| s.node == node))
-            })
-            .map(|(&id, _)| id)
-            .collect();
+            .residency
+            .get(&node)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
         for &id in &victims {
             let Some(rec) = self.jobs.get_mut(&id) else {
                 continue;
             };
-            if let Some(alloc) = rec.alloc.take() {
-                self.graph.release(&alloc);
+            let alloc = rec.alloc.take();
+            if let Some(alloc) = &alloc {
+                self.graph.release(alloc);
             }
             rec.state.advance_to(JobState::Failed);
             let class = rec.spec.class;
+            self.unindex_running(id, class, alloc.as_ref());
             self.counts_mut(class).0 -= 1;
             self.stats.failed += 1;
             self.pending_events.push(JobEvent::Finished {
@@ -228,13 +236,15 @@ impl SchedEngine {
     /// Returns the hung job's id, or `None` if no eligible job is
     /// running.
     pub fn hang_running(&mut self, class: JobClass, at: SimTime) -> Option<JobId> {
+        // The running index is ordered by (class, id): one range walk
+        // finds the lowest-id running job of the class, skipping only
+        // already-hung entries.
         let id = self
-            .jobs
-            .iter()
-            .find(|(_, rec)| {
-                rec.spec.class == class && rec.state.current() == JobState::Running && !rec.hung
-            })
-            .map(|(&id, _)| id)?;
+            .running
+            .range((class, JobId(0))..)
+            .take_while(|&&(c, _)| c == class)
+            .map(|&(_, id)| id)
+            .find(|id| self.jobs.get(id).is_some_and(|rec| !rec.hung))?;
         if let Some(rec) = self.jobs.get_mut(&id) {
             rec.hung = true;
         }
@@ -344,14 +354,18 @@ impl SchedEngine {
         let Some(rec) = self.jobs.get_mut(&id) else {
             return false;
         };
-        if state == JobState::Running {
-            if let Some(alloc) = rec.alloc.take() {
-                self.graph.release(&alloc);
-            }
-            self.head_blocked = false;
-        }
         let class = rec.spec.class;
-        rec.state.advance_to(JobState::Canceled);
+        if state == JobState::Running {
+            let alloc = rec.alloc.take();
+            if let Some(alloc) = &alloc {
+                self.graph.release(alloc);
+            }
+            rec.state.advance_to(JobState::Canceled);
+            self.unindex_running(id, class, alloc.as_ref());
+            self.head_blocked = false;
+        } else {
+            rec.state.advance_to(JobState::Canceled);
+        }
         let counts = self.counts_mut(class);
         if state == JobState::Running {
             counts.0 -= 1;
@@ -471,8 +485,9 @@ impl SchedEngine {
         if rec.hung {
             return; // hung jobs never complete; only a cancel frees them
         }
-        if let Some(alloc) = rec.alloc.take() {
-            self.graph.release(&alloc);
+        let alloc = rec.alloc.take();
+        if let Some(alloc) = &alloc {
+            self.graph.release(alloc);
         }
         let success = rec.spec.outcome == JobOutcome::Success;
         rec.state.advance_to(if success {
@@ -482,6 +497,7 @@ impl SchedEngine {
         });
         let class = rec.spec.class;
         let placed_at = rec.placed_at.take();
+        self.unindex_running(id, class, alloc.as_ref());
         self.counts_mut(class).0 -= 1;
         if success {
             self.stats.completed += 1;
@@ -574,6 +590,12 @@ impl SchedEngine {
                         counts.0 += 1;
                         counts.1 -= 1;
                         self.stats.placed += 1;
+                        self.running.insert((class, id));
+                        if let Some(alloc) = self.jobs.get(&id).and_then(|r| r.alloc.as_ref()) {
+                            for s in &alloc.slices {
+                                self.residency.entry(s.node).or_default().insert(id);
+                            }
+                        }
                         self.completions.push(Reverse((end + runtime, id)));
                         self.tracer.instant_at(
                             end,
@@ -600,6 +622,24 @@ impl SchedEngine {
 
     fn counts_mut(&mut self, class: JobClass) -> &mut (u64, u64) {
         self.class_counts.entry(class).or_insert((0, 0))
+    }
+
+    /// Removes a job that just left [`JobState::Running`] from the running
+    /// and residency indexes. `alloc` is the allocation it held (already
+    /// released back to the graph by the caller).
+    fn unindex_running(&mut self, id: JobId, class: JobClass, alloc: Option<&resources::Alloc>) {
+        self.running.remove(&(class, id));
+        if let Some(alloc) = alloc {
+            for s in &alloc.slices {
+                let emptied = self.residency.get_mut(&s.node).is_some_and(|set| {
+                    set.remove(&id);
+                    set.is_empty()
+                });
+                if emptied {
+                    self.residency.remove(&s.node);
+                }
+            }
+        }
     }
 }
 

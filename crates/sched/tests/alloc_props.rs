@@ -1,0 +1,250 @@
+//! Property tests for the resource matcher's allocation invariants.
+//!
+//! Three families of properties over arbitrary seeded op sequences
+//! (allocations of all four MuMMI job shapes, releases, drains,
+//! undrains) on a Summit-shaped machine:
+//!
+//! 1. **No double-booking** — every core/GPU bit is held by at most one
+//!    outstanding allocation, and the graph's free masks equal the full
+//!    machine minus the union of outstanding grants.
+//! 2. **Claim+release round-trips** — releasing an allocation restores
+//!    the *exact* prior free set, bit for bit.
+//! 3. **Indexed ≡ linear (differential oracle)** — the segment-tree
+//!    matcher picks the same node set, reports the same visit counts,
+//!    and leaves the same state as the retained O(n) linear matcher,
+//!    for both match policies.
+//!
+//! The free-count index (`validate_index`) is additionally checked
+//! against the node table after every operation.
+
+use proptest::prelude::*;
+use resources::{Alloc, JobShape, MachineSpec, MatchPolicy, ResourceGraph};
+
+const NODES: u32 = 12;
+
+/// Which resource request an `Op::Alloc` issues. Mirrors the four MuMMI
+/// job types (continuum scaled down to the toy machine).
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    SimStandard,
+    SimWide,
+    Bundled,
+    Setup,
+    Continuum,
+}
+
+impl Shape {
+    fn shape(self) -> JobShape {
+        match self {
+            Shape::SimStandard => JobShape::sim_standard(),
+            Shape::SimWide => JobShape::sim(5),
+            Shape::Bundled => JobShape::sim_bundled(6, 5),
+            Shape::Setup => JobShape::setup(),
+            Shape::Continuum => JobShape::continuum(3),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Try to place a job of the given shape under the given policy.
+    Alloc(Shape, MatchPolicy),
+    /// Release the k-th outstanding allocation (mod the live count).
+    Release(usize),
+    /// Drain node `k mod NODES`.
+    Drain(u32),
+    /// Undrain node `k mod NODES`.
+    Undrain(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest's `prop_oneof!` is unweighted; duplicating the
+    // alloc arm skews sequences toward placements so graphs actually fill.
+    let shape = prop_oneof![
+        Just(Shape::SimStandard),
+        Just(Shape::SimStandard),
+        Just(Shape::SimWide),
+        Just(Shape::Bundled),
+        Just(Shape::Setup),
+        Just(Shape::Continuum),
+    ];
+    let policy = prop_oneof![
+        Just(MatchPolicy::FirstMatch),
+        Just(MatchPolicy::LowIdExhaustive),
+    ];
+    let alloc = (shape, policy).prop_map(|(s, p)| Op::Alloc(s, p));
+    prop_oneof![
+        alloc.clone(),
+        alloc.clone(),
+        alloc,
+        any::<usize>().prop_map(Op::Release),
+        any::<usize>().prop_map(Op::Release),
+        (0..NODES).prop_map(Op::Drain),
+        (0..NODES).prop_map(Op::Undrain),
+    ]
+}
+
+fn machine() -> MachineSpec {
+    MachineSpec::summit_allocation(NODES)
+}
+
+/// Full free masks of an untouched machine, in node-ID order.
+fn full_masks(spec: &MachineSpec) -> Vec<(u64, u8)> {
+    let cores = (1u64 << spec.node.cores()) - 1;
+    let gpus = ((1u16 << spec.node.gpus) - 1) as u8;
+    vec![(cores, gpus); spec.nodes as usize]
+}
+
+/// The free masks implied by a set of outstanding allocations, plus a
+/// double-booking check: panics if any two grants overlap.
+fn expected_masks(spec: &MachineSpec, outstanding: &[Alloc]) -> Vec<(u64, u8)> {
+    let mut masks = full_masks(spec);
+    for a in outstanding {
+        for s in &a.slices {
+            let (free_c, free_g) = masks[s.node as usize];
+            assert_eq!(
+                free_c & s.core_mask,
+                s.core_mask,
+                "core double-booking on node {}",
+                s.node
+            );
+            assert_eq!(
+                free_g & s.gpu_mask,
+                s.gpu_mask,
+                "gpu double-booking on node {}",
+                s.node
+            );
+            masks[s.node as usize] = (free_c & !s.core_mask, free_g & !s.gpu_mask);
+        }
+    }
+    masks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No core or GPU is ever granted twice, and the graph's free set is
+    /// exactly the machine minus the union of outstanding grants.
+    #[test]
+    fn no_double_booking(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut g = ResourceGraph::new(machine());
+        let mut outstanding: Vec<Alloc> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(s, p) => {
+                    if let Some(a) = g.try_alloc(&s.shape(), p) {
+                        outstanding.push(a);
+                    }
+                }
+                Op::Release(k) => {
+                    if !outstanding.is_empty() {
+                        let a = outstanding.remove(k % outstanding.len());
+                        g.release(&a);
+                    }
+                }
+                Op::Drain(n) => g.drain(n),
+                Op::Undrain(n) => g.undrain(n),
+            }
+            prop_assert_eq!(g.free_masks(), expected_masks(g.spec(), &outstanding));
+            prop_assert!(g.validate_index().is_ok(), "{:?}", g.validate_index());
+        }
+        // Usage counters agree with the grants we hold.
+        let held_gpus: u64 = outstanding.iter().map(|a| a.gpus()).sum();
+        let held_cores: u64 = outstanding.iter().map(|a| a.cores()).sum();
+        prop_assert_eq!(g.gpu_usage().0, held_gpus);
+        prop_assert_eq!(g.cpu_usage().0, held_cores);
+    }
+
+    /// Claim + release restores the exact prior free set, from any
+    /// reachable intermediate state.
+    #[test]
+    fn claim_release_round_trips(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+        probe in prop_oneof![
+            Just(Shape::SimStandard),
+            Just(Shape::SimWide),
+            Just(Shape::Bundled),
+            Just(Shape::Setup),
+            Just(Shape::Continuum),
+        ],
+        policy in prop_oneof![
+            Just(MatchPolicy::FirstMatch),
+            Just(MatchPolicy::LowIdExhaustive),
+        ],
+    ) {
+        let mut g = ResourceGraph::new(machine());
+        let mut outstanding: Vec<Alloc> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(s, p) => {
+                    if let Some(a) = g.try_alloc(&s.shape(), p) {
+                        outstanding.push(a);
+                    }
+                }
+                Op::Release(k) => {
+                    if !outstanding.is_empty() {
+                        let a = outstanding.remove(k % outstanding.len());
+                        g.release(&a);
+                    }
+                }
+                Op::Drain(n) => g.drain(n),
+                Op::Undrain(n) => g.undrain(n),
+            }
+        }
+        let before = g.free_masks();
+        if let Some(a) = g.try_alloc(&probe.shape(), policy) {
+            prop_assert_ne!(g.free_masks(), before.clone());
+            g.release(&a);
+        }
+        prop_assert_eq!(g.free_masks(), before);
+        prop_assert!(g.validate_index().is_ok());
+    }
+
+    /// The indexed matcher is observationally identical to the retained
+    /// linear matcher: same grants, same visit counts, same end state.
+    #[test]
+    fn indexed_matches_linear_oracle(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut indexed = ResourceGraph::new(machine());
+        let mut linear = ResourceGraph::new(machine());
+        linear.set_linear_scan(true);
+        let mut outstanding: Vec<Alloc> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(s, p) => {
+                    let a_idx = indexed.try_alloc(&s.shape(), p);
+                    let a_lin = linear.try_alloc(&s.shape(), p);
+                    prop_assert_eq!(&a_idx, &a_lin, "matchers diverged on {:?}", op);
+                    prop_assert_eq!(
+                        indexed.visited_last(),
+                        linear.visited_last(),
+                        "visit counts diverged on {:?}",
+                        op
+                    );
+                    if let Some(a) = a_idx {
+                        outstanding.push(a);
+                    }
+                }
+                Op::Release(k) => {
+                    if !outstanding.is_empty() {
+                        let a = outstanding.remove(k % outstanding.len());
+                        indexed.release(&a);
+                        linear.release(&a);
+                    }
+                }
+                Op::Drain(n) => {
+                    indexed.drain(n);
+                    linear.drain(n);
+                }
+                Op::Undrain(n) => {
+                    indexed.undrain(n);
+                    linear.undrain(n);
+                }
+            }
+            prop_assert_eq!(indexed.free_masks(), linear.free_masks());
+            prop_assert!(indexed.validate_index().is_ok());
+        }
+        prop_assert_eq!(indexed.visited_total(), linear.visited_total());
+        prop_assert_eq!(indexed.gpu_usage(), linear.gpu_usage());
+        prop_assert_eq!(indexed.cpu_usage(), linear.cpu_usage());
+    }
+}

@@ -99,7 +99,7 @@ fn main() {
             match event {
                 WmEvent::CgSetupDone { patch_id } => {
                     // createsim: patch -> equilibrated CG system.
-                    let patch = patches.get(&patch_id).expect("selected patch exists");
+                    let patch = patches.get(&*patch_id).expect("selected patch exists");
                     let (cgs, _) = createsim(
                         patch,
                         &CreatesimConfig {
@@ -109,11 +109,11 @@ fn main() {
                             ..CreatesimConfig::default()
                         },
                     );
-                    cg_systems.insert(patch_id, cgs);
+                    cg_systems.insert(patch_id.to_string(), cgs);
                 }
                 WmEvent::CgSimStarted { sim_id, .. } => {
                     // Run the Martini surrogate and publish analyzed frames.
-                    let cgs = cg_systems.get_mut(&sim_id).expect("prepared CG system");
+                    let cgs = cg_systems.get_mut(&*sim_id).expect("prepared CG system");
                     let mut frame_points = Vec::new();
                     for burst in 0..3 {
                         cgs.run(150);
@@ -131,11 +131,11 @@ fn main() {
                     let source_sim = frame_id.split(':').next().expect("frame id format");
                     if let Some(cgs) = cg_systems.get(source_sim) {
                         let (aas, _) = backmap(cgs, &BackmapConfig::default());
-                        aa_systems.insert(frame_id, aas);
+                        aa_systems.insert(frame_id.to_string(), aas);
                     }
                 }
                 WmEvent::AaSimStarted { sim_id, .. } => {
-                    if let Some(aas) = aa_systems.get_mut(&sim_id) {
+                    if let Some(aas) = aa_systems.get_mut(&*sim_id) {
                         aas.run(100);
                         let frame = AaFrame {
                             id: format!("{sim_id}:f0"),

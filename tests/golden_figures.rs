@@ -1,0 +1,149 @@
+//! Golden-figure snapshots: the derived Table 1 / Figure 5 / Figure 6
+//! series for the `--smoke` campaign schedule, pinned byte-for-byte.
+//!
+//! The smoke campaign is seeded and byte-deterministic (CI diffs its
+//! JSONL trace across runs), so every derived series is too. These tests
+//! render each series to a canonical text form and compare it against
+//! the committed files under `tests/goldens/` — any engine change that
+//! shifts a placement, a profile sample, or a timeline point shows up
+//! as a golden diff with the exact rows that moved.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_figures
+//! git diff tests/goldens/   # review every changed row, then commit
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use campaign::{Campaign, CampaignConfig};
+use trace::{derive, Tracer};
+
+/// The `table1 --smoke` schedule: a two-allocation restart chain at 100
+/// nodes — `(nodes, wall-hours, runs)`.
+const SMOKE_SCHEDULE: &[(u32, u64, u32)] = &[(100, 4, 1), (100, 2, 1)];
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// Runs the smoke campaign once with tracing on and renders all golden
+/// series from it.
+fn render_goldens() -> Vec<(&'static str, String)> {
+    let mut c = Campaign::new(CampaignConfig::default());
+    c.set_tracer(Tracer::enabled());
+    let rows = c.run_table(SMOKE_SCHEDULE);
+    let events = c.tracer().events();
+
+    // Table 1 (smoke rows): the schedule table plus the per-run restart
+    // detail the binary prints.
+    let mut table1 = String::new();
+    table1.push_str("# Table 1 (smoke): nodes\twall-hours\truns\tnode-hours\n");
+    for (nodes, hours, runs, node_hours) in &rows {
+        let _ = writeln!(table1, "{nodes}\t{hours}\t{runs}\t{node_hours}");
+    }
+    table1.push_str("# per-run: run\tnodes\thours\tplaced\tcompleted\tmeanGPU%\tload-h\n");
+    for (i, r) in c.reports().iter().enumerate() {
+        let _ = writeln!(
+            table1,
+            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{}",
+            i + 1,
+            r.nodes,
+            r.hours,
+            r.placed,
+            r.sims_completed,
+            r.gpu_mean_occupancy,
+            r.load_time
+                .map(|t| format!("{:.4}", t.as_hours_f64()))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    // Figure 5: GPU/CPU occupancy per profile event, rebuilt from
+    // `wm.profile` trace records.
+    let mut fig5 = String::new();
+    fig5.push_str("# Fig 5 (smoke): at-us\tgpus-used\tgpus-total\tgpu%\tcpu%\n");
+    let profiler = derive::occupancy_profiler(&events);
+    for s in profiler.samples() {
+        let _ = writeln!(
+            fig5,
+            "{}\t{}\t{}\t{:.4}\t{:.4}",
+            s.at.as_micros(),
+            s.gpus_used,
+            s.gpus_total,
+            s.gpu_pct(),
+            s.cpu_pct(),
+        );
+    }
+
+    // Figure 6: running/pending timelines per job class, rebuilt from
+    // `wm.timeline` trace records.
+    let mut fig6 = String::new();
+    fig6.push_str("# Fig 6 (smoke): class\tat-us\trunning\tpending\n");
+    for class in ["cg", "aa"] {
+        for p in derive::timeline(&events, class).points() {
+            let _ = writeln!(
+                fig6,
+                "{class}\t{}\t{}\t{}",
+                p.at.as_micros(),
+                p.running,
+                p.pending
+            );
+        }
+    }
+
+    // Scheduler throughput: jobs placed per virtual minute, from
+    // `job.placed` records.
+    let mut thr = String::new();
+    thr.push_str("# jobs placed per virtual minute (smoke)\n");
+    for (minute, jobs) in derive::jobs_per_minute(&events) {
+        let _ = writeln!(thr, "{minute}\t{jobs}");
+    }
+
+    vec![
+        ("table1_smoke.txt", table1),
+        ("fig5_occupancy_smoke.txt", fig5),
+        ("fig6_timeline_smoke.txt", fig6),
+        ("throughput_smoke.txt", thr),
+    ]
+}
+
+#[test]
+fn derived_figures_match_goldens() {
+    let dir = goldens_dir();
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let mut diffs = Vec::new();
+    for (name, rendered) in render_goldens() {
+        let path = dir.join(name);
+        if update {
+            std::fs::create_dir_all(&dir).expect("create goldens dir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+                path.display()
+            )
+        });
+        if want != rendered {
+            let first_bad = want
+                .lines()
+                .zip(rendered.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| want.lines().count().min(rendered.lines().count()) + 1);
+            diffs.push(format!(
+                "{name}: differs from golden (first differing line {first_bad}; golden {} lines, rendered {} lines). \
+                 If the change is intentional, regenerate with UPDATE_GOLDENS=1 and review the diff.",
+                want.lines().count(),
+                rendered.lines().count(),
+            ));
+        }
+    }
+    assert!(diffs.is_empty(), "{}", diffs.join("\n"));
+}

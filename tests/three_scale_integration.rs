@@ -108,7 +108,7 @@ impl MiniCampaign {
     fn handle(&mut self, ev: WmEvent) {
         match ev {
             WmEvent::CgSetupDone { patch_id } => {
-                let patch = self.patches.get(&patch_id).expect("patch exists");
+                let patch = self.patches.get(&*patch_id).expect("patch exists");
                 let (cgs, report) = createsim(
                     patch,
                     &CreatesimConfig {
@@ -119,10 +119,10 @@ impl MiniCampaign {
                     },
                 );
                 assert!(report.energy_after <= report.energy_before);
-                self.cg_systems.insert(patch_id, cgs);
+                self.cg_systems.insert(patch_id.to_string(), cgs);
             }
             WmEvent::CgSimStarted { sim_id, .. } => {
-                let cgs = self.cg_systems.get_mut(&sim_id).expect("prepared system");
+                let cgs = self.cg_systems.get_mut(&*sim_id).expect("prepared system");
                 let mut frame_points = Vec::new();
                 for burst in 0..2 {
                     cgs.run(100);
