@@ -149,7 +149,7 @@ impl MdSystem {
         // Parallel per-particle neighbor loop (each pair visited twice; the
         // energy is halved accordingly).
         let results: Vec<([f64; 3], f64)> = (0..self.len())
-            .into_par_iter()
+            .into_par_iter() // lint: allow(L8: per-particle forces collect in index order; the energy sum below runs serially over that ordered Vec)
             .map(|i| {
                 let mut f = [0.0f64; 3];
                 let mut e = 0.0f64;

@@ -126,7 +126,7 @@ impl Grid2 {
         let ny = self.ny;
         let src = &self.data;
         out.data
-            .par_chunks_mut(nx)
+            .par_chunks_mut(nx) // lint: allow(L8: row stencil into disjoint output rows; reads only the immutable source grid)
             .enumerate()
             .for_each(|(y, row)| {
                 let yu = (y + 1) % ny;

@@ -102,11 +102,13 @@ impl<I: NnIndex> FarthestPointSampler<I> {
             return;
         }
         let index = &self.selected;
-        self.queue.par_iter_mut().for_each(|(p, rank)| {
-            if rank.is_none() {
-                *rank = Some(index.nearest_dist_sq(&p.coords));
-            }
-        });
+        self.queue
+            .par_iter_mut() // lint: allow(L8: disjoint per-element writes; result independent of schedule)
+            .for_each(|(p, rank)| {
+                if rank.is_none() {
+                    *rank = Some(index.nearest_dist_sq(&p.coords));
+                }
+            });
         self.stale = 0;
     }
 
@@ -116,14 +118,16 @@ impl<I: NnIndex> FarthestPointSampler<I> {
         // Incremental rank maintenance: a new selected point can only
         // lower ranks; fold it into every *computed* cache entry.
         let coords = &point.coords;
-        self.queue.par_iter_mut().for_each(|(p, rank)| {
-            if let Some(r) = rank {
-                let d = p.dist_sq(coords);
-                if d < *r {
-                    *rank = Some(d);
+        self.queue
+            .par_iter_mut() // lint: allow(L8: per-element min update, disjoint writes)
+            .for_each(|(p, rank)| {
+                if let Some(r) = rank {
+                    let d = p.dist_sq(coords);
+                    if d < *r {
+                        *rank = Some(d);
+                    }
                 }
-            }
-        });
+            });
     }
 
     /// swap_remove with position-map repair.

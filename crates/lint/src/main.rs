@@ -1,4 +1,8 @@
-//! `mummi-lint` binary: `cargo run -p lint [-- --json] [root]`.
+//! `mummi-lint` binary: `cargo run -p lint [-- --json|--github] [root]`.
+//!
+//! `--github` renders violations as GitHub Actions `::error` workflow
+//! commands, so a CI lint step annotates the offending lines inline on
+//! the PR diff.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 operational error.
 
@@ -7,12 +11,14 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut github = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--github" => github = true,
             "--help" | "-h" => {
-                eprintln!("usage: lint [--json] [workspace-root]");
+                eprintln!("usage: lint [--json] [--github] [workspace-root]");
                 return ExitCode::SUCCESS;
             }
             other => root = Some(PathBuf::from(other)),
@@ -34,11 +40,18 @@ fn main() -> ExitCode {
             if json {
                 println!("{}", lint::to_json(&violations));
             } else {
+                // --github: annotation commands on stdout (the runner
+                // parses them), human diagnostics stay on stderr.
+                if github {
+                    for v in &violations {
+                        println!("{}", v.to_github());
+                    }
+                }
                 for v in &violations {
                     eprintln!("{v}");
                 }
                 if violations.is_empty() {
-                    eprintln!("mummi-lint: workspace clean (L1-L5)");
+                    eprintln!("mummi-lint: workspace clean (L1-L9)");
                 } else {
                     eprintln!("mummi-lint: {} violation(s)", violations.len());
                 }

@@ -1,0 +1,6 @@
+//! A directory merely *named* vendor outside crates/vendor/ is scanned
+//! like everything else — real code cannot hide behind the name.
+
+pub fn leaky_clock() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

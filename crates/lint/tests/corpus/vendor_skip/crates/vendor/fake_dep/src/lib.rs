@@ -1,0 +1,14 @@
+//! Vendored stand-in: full of would-be violations that must never be
+//! reported — crates/vendor/ sits outside the scan entirely.
+
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+pub fn rng() -> ThreadRng {
+    thread_rng()
+}
+
+pub fn state() -> Mutex<HashMap<String, u64>> {
+    Mutex::new(HashMap::new())
+}

@@ -1,10 +1,9 @@
 //! Tier-1 gate: the workspace must satisfy the determinism contract, and
 //! the linter must actually catch a seeded violation of every rule.
 
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use lint::{lint_file, lint_workspace, Config, Violation};
+use lint::{finish_scan, lint_file, lint_workspace, Config, ScanState, Violation};
 
 fn workspace_root() -> PathBuf {
     // crates/lint -> crates -> workspace root
@@ -32,8 +31,20 @@ fn workspace_satisfies_the_determinism_contract() {
 /// Runs the per-file pass on scratch source attributed to `rel`.
 fn scratch(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let mut counts = BTreeMap::new();
-    lint_file(rel, source, config, &mut violations, &mut counts);
+    let mut state = ScanState::default();
+    lint_file(rel, source, config, &mut violations, &mut state);
+    violations
+}
+
+/// Runs the full pass — per-file plus the cross-file finish — over a set
+/// of scratch files, as `lint_workspace` would.
+fn scratch_many(files: &[(&str, &str)], config: &Config) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut state = ScanState::default();
+    for (rel, source) in files {
+        lint_file(rel, source, config, &mut violations, &mut state);
+    }
+    finish_scan(config, &state, &mut violations);
     violations
 }
 
@@ -137,6 +148,93 @@ fn l5_catches_raw_state_writes_outside_the_state_machine() {
     // Comparisons and advance_to calls are not writes.
     let clean = "fn f() {\n    if rec.state == JobState::Queued { rec.state.advance_to(JobState::Running); }\n}\n";
     assert!(scratch("crates/sched/src/engine.rs", clean, &Config::default()).is_empty());
+}
+
+#[test]
+fn l6_catches_shared_mutable_state_in_coordination_crates() {
+    let src = "use std::sync::Mutex;\nfn f() { unsafe { bad() } }\n";
+    let v = scratch("crates/mummi-core/src/wm.rs", src, &Config::default());
+    assert_fires(&v, "L6", "crates/mummi-core/src/wm.rs", 1);
+    assert_fires(&v, "L6", "crates/mummi-core/src/wm.rs", 2);
+
+    // Outside the coordination crates the primitives are legal; inside,
+    // only a *reasoned* allow silences them — a bare allow is itself a
+    // violation.
+    assert!(scratch("crates/ml/src/train.rs", src, &Config::default()).is_empty());
+    let reasoned =
+        "use std::sync::Mutex; // lint: allow(L6: leaf lock shared with the WM closure)\n";
+    assert!(scratch("crates/mummi-core/src/wm.rs", reasoned, &Config::default()).is_empty());
+    let bare = "use std::sync::Mutex; // lint: allow(L6)\n";
+    let vb = scratch("crates/mummi-core/src/wm.rs", bare, &Config::default());
+    assert_fires(&vb, "L6", "crates/mummi-core/src/wm.rs", 1);
+}
+
+#[test]
+fn l6_relaxed_ordering_has_no_escape_anywhere() {
+    // Tests, non-coordination crates, and reasoned allows: none of them
+    // make Ordering::Relaxed legal.
+    let src = "#[cfg(test)]\nmod t {\n    fn f() { x.load(Ordering::Relaxed); } // lint: allow(L6: please)\n}\n";
+    let v = scratch("crates/ml/src/train.rs", src, &Config::default());
+    assert_fires(&v, "L6", "crates/ml/src/train.rs", 3);
+}
+
+#[test]
+fn l7_catches_parallel_float_reductions() {
+    // Same statement, lines apart: par_iter on line 2, the float fold on
+    // line 4 — the closure's inner `;` must not break the window.
+    let src = "fn f(v: &[f64]) -> f64 {\n    v.par_iter()\n        .map(|x| { let y = x + 1.0; y })\n        .fold(0.0, |a, b| a + b)\n}\n";
+    let mut cfg = Config::default();
+    cfg.l8_parallel
+        .insert("crates/campaign/src/x.rs".into(), "fixture".into());
+    let v = scratch("crates/campaign/src/x.rs", src, &cfg);
+    assert_fires(&v, "L7", "crates/campaign/src/x.rs", 4);
+
+    // The prescribed idiom — ordered collect, then a serial reduction in
+    // the next statement — is clean, as is an integer turbofish sum.
+    let ok = "fn f(v: &[f64]) -> f64 {\n    let c: Vec<f64> = v.par_iter().copied().collect();\n    c.iter().sum()\n}\nfn g(v: &[u64]) -> u64 { v.par_iter().sum::<u64>() }\n";
+    assert!(scratch("crates/campaign/src/x.rs", ok, &cfg).is_empty());
+}
+
+#[test]
+fn l8_entry_points_require_the_allowlist() {
+    let src = "fn f(v: &[u64]) -> Vec<u64> { v.par_iter().map(|x| x + 1).collect() }\n";
+    let v = scratch("crates/sched/src/engine.rs", src, &Config::default());
+    assert_fires(&v, "L8", "crates/sched/src/engine.rs", 1);
+
+    // Listed in [l8_parallel]: clean. In test code: exempt.
+    let mut cfg = Config::default();
+    cfg.l8_parallel
+        .insert("crates/sched/src/engine.rs".into(), "fixture".into());
+    assert!(scratch("crates/sched/src/engine.rs", src, &cfg).is_empty());
+    let test_src = "#[cfg(test)]\nmod t {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+    assert!(scratch("crates/sched/src/engine.rs", test_src, &Config::default()).is_empty());
+
+    // A stale allowlist entry (no parallel entry point left) is flagged
+    // by the cross-file finish, pinned to lint.toml.
+    let v = scratch_many(&[("crates/sched/src/engine.rs", "fn ok() {}\n")], &cfg);
+    assert_fires(&v, "L8", "lint.toml", 1);
+}
+
+#[test]
+fn l9_fork_labels_must_be_literal_and_globally_unique() {
+    // The same label in two files — the cross-file case — fires at both
+    // sites; a computed label fires where it stands.
+    let a = "fn a(s: &SeedStream) { let _ = s.fork(\"wm\"); }\n";
+    let b = "fn b(s: &SeedStream) { let _ = s.fork(\"wm\"); }\nfn c(s: &SeedStream, n: &str) { let _ = s.fork(n); }\n";
+    let v = scratch_many(
+        &[
+            ("crates/campaign/src/a.rs", a),
+            ("crates/chaos/src/b.rs", b),
+        ],
+        &Config::default(),
+    );
+    assert_fires(&v, "L9", "crates/campaign/src/a.rs", 1);
+    assert_fires(&v, "L9", "crates/chaos/src/b.rs", 1);
+    assert_fires(&v, "L9", "crates/chaos/src/b.rs", 2);
+
+    // Distinct literals, fork_indexed, and test code are all clean.
+    let ok = "fn a(s: &SeedStream) { let _ = s.fork(\"wm\"); }\nfn b(s: &SeedStream, i: u64) { let _ = s.fork_indexed(\"run\", i); }\n#[cfg(test)]\nmod t {\n    fn t(s: &SeedStream) { s.fork(\"wm\"); }\n}\n";
+    assert!(scratch_many(&[("crates/campaign/src/a.rs", ok)], &Config::default()).is_empty());
 }
 
 #[test]

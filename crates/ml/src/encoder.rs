@@ -138,7 +138,7 @@ impl Autoencoder {
 
     /// Encodes a batch of patch vectors in parallel.
     pub fn encode_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        xs.par_iter().map(|x| self.encode(x)).collect()
+        xs.par_iter().map(|x| self.encode(x)).collect() // lint: allow(L8: pure per-item encode; indexed collect preserves input order)
     }
 }
 

@@ -26,15 +26,30 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            ProptestConfig {
+                cases: env_case_cap().map_or(256, |cap| cap.min(256)),
+            }
         }
     }
 
     impl ProptestConfig {
-        /// A config running `cases` cases.
+        /// A config running `cases` cases. `PROPTEST_CASES` still caps
+        /// the count, so slow interpreters stay fast even against suites
+        /// that ask for large explicit counts.
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_case_cap().map_or(cases, |cap| cap.min(cases)),
+            }
         }
+    }
+
+    /// `PROPTEST_CASES`, when set, is a global upper bound on cases per
+    /// test. CI sanitizer runs (Miri, tsan) set it low: each generated
+    /// case costs orders of magnitude more under an interpreter, and the
+    /// interleaving/UB coverage they add does not need hundreds of
+    /// inputs.
+    fn env_case_cap() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
     }
 
     /// A failed property within one generated case.

@@ -29,7 +29,7 @@ proptest! {
         let dir = std::env::temp_dir().join(format!(
             "taridx-prop-{}-{:x}",
             std::process::id(),
-            CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            CASE.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("p.tar");
