@@ -4,7 +4,10 @@
 //! This work utilized over 600,000 node hours on Summit using several runs
 //! at varying scales."
 //!
-//! Usage: `table1 [--full | --smoke] [--chaos <seed>] [--ticked]`. The default
+//! Usage: `table1 [--full | --smoke] [--chaos <seed>] [--ticked] [--serial]`.
+//! `--serial` pins the legacy serial event-loop body (the differential
+//! oracle for the partitioned parallel loop — same bytes, only wall
+//! clock may differ). The default
 //! executes the paper's exact schedule but with the twenty 1000-node runs
 //! represented by five (the DES is deterministic, so additional identical
 //! runs only add wall time); `--full` executes all 32 runs; `--smoke` runs
@@ -44,6 +47,7 @@ fn main() {
 
     let mut cfg = CampaignConfig {
         mode: mummi_bench::drive_mode_from_args(),
+        serial_loop: mummi_bench::serial_loop_from_args(),
         ..CampaignConfig::default()
     };
     let plan = chaos_seed.map(|seed| {

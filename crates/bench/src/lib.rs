@@ -100,6 +100,16 @@ pub fn drive_mode_from_args() -> campaign::DriveMode {
     }
 }
 
+/// Parses the `--serial` differential-oracle toggle shared by the
+/// campaign binaries: present → the event loop runs the legacy serial
+/// body at every barrier, absent → the partitioned parallel loop (the
+/// default). The two are byte-identical by contract (see DESIGN.md
+/// § "Parallel event loop"), so this flag only ever changes wall clock —
+/// CI diffs the traces of both flavors to hold that line.
+pub fn serial_loop_from_args() -> bool {
+    std::env::args().skip(1).any(|a| a == "--serial")
+}
+
 /// Prints a two-column header followed by rows.
 pub fn print_series(title: &str, xlabel: &str, ylabel: &str, rows: &[(f64, f64)]) {
     println!("## {title}");

@@ -21,6 +21,7 @@
 //!   campaign that hops across variable-sized allocations on different
 //!   clusters through its checkpoints.
 
+pub mod driver;
 pub mod failures;
 pub mod feedback_model;
 pub mod perf;
@@ -28,6 +29,7 @@ mod persistent;
 mod run;
 pub mod sweep;
 
+pub use driver::{advance_clock, next_horizon, Horizon, WakeSource};
 pub use failures::FailureProcess;
 pub use feedback_model::{FeedbackTimingModel, Iteration};
 pub use perf::{AaPerf, CgPerf, ContinuumPerf};

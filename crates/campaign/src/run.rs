@@ -1,6 +1,6 @@
 //! The multi-run campaign driver.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex; // lint: allow(L6: campaign shared-state import; each field carries its own reason)
@@ -12,12 +12,13 @@ use cg::CgFrame;
 use chaos::{FaultKind, FaultPlan, MonotonicWatch, RunLedger};
 use datastore::{DataStore, FaultWindow, KvDataStore, ScheduledFaultStore};
 use mummi_core::app3;
-use mummi_core::{RuntimeModel, WmCheckpoint, WmConfig, WmEvent};
+use mummi_core::{RuntimeModel, WmCheckpoint, WmConfig, WmEvent, WorkflowManager};
 use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
-use sched::{Costs, Coupling, JobClass, JobSpec, SchedEngine};
+use sched::{Costs, Coupling, JobClass, JobId, JobSpec, SchedEngine};
 use simcore::{EventQueue, OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
 use trace::Tracer;
 
+use crate::driver;
 use crate::failures::FailureProcess;
 use crate::perf::{AaPerf, CgPerf, ContinuumPerf};
 
@@ -98,6 +99,13 @@ pub struct CampaignConfig {
     /// same traces — only the wall-clock cost differs. The scale ladder
     /// uses it as the "pre-change engine" baseline.
     pub linear_scan: bool,
+    /// Forces the legacy single-threaded event loop (`--serial` on the
+    /// bench binaries). The default event-driven driver forks the data-
+    /// generation and scheduler-poll partitions onto threads at heavy
+    /// barriers; both loops produce byte-identical same-seed traces
+    /// (asserted by tests and CI), so this toggle is the differential
+    /// oracle and a wall-clock baseline, never a semantic switch.
+    pub serial_loop: bool,
     /// Root seed.
     pub seed: u64,
 }
@@ -125,6 +133,7 @@ impl Default for CampaignConfig {
             fault_plan: None,
             mode: DriveMode::EventDriven,
             linear_scan: false,
+            serial_loop: false,
             seed: 20201214,
         }
     }
@@ -218,6 +227,11 @@ pub struct RunReport {
     /// Driver loop passes this run took (ticks when ticked, wakeups when
     /// event-driven) — the quantity next-event time advance minimises.
     pub driver_iterations: u64,
+    /// Clock advances forced past a stale wakeup source (see
+    /// [`crate::driver::advance_clock`]). Always zero while every source
+    /// honors the "never late, never stale" contract; a nonzero count
+    /// means a `next_wakeup` accessor regressed.
+    pub forced_advances: u64,
 }
 
 /// The persistent campaign: survives across runs via checkpoints, exactly
@@ -250,6 +264,117 @@ pub struct Campaign {
     /// Observability sink shared with every run's engine and WM; a no-op
     /// handle by default.
     tracer: Tracer,
+}
+
+/// The concrete WM the campaign drives (the three-scale MuMMI app over
+/// the Flux-model scheduler).
+type CampaignWm = WorkflowManager<SchedEngine>;
+
+/// Minimum estimated frame batch for which a barrier without a snapshot
+/// due still forks the generation partition onto a thread. Forking pays
+/// a scoped-thread spawn plus two tracer stages; a barrier that would
+/// only generate a handful of frames is cheaper inline. Purely a
+/// wall-clock knob: light and heavy barriers produce identical bytes.
+const PARALLEL_FRAME_THRESHOLD: f64 = 64.0;
+
+/// Run context and mutable accounting slots threaded through the
+/// fault-drain helpers ([`apply_due_attrition`], [`apply_plan_fault`]),
+/// which the serial body and the parallel barrier's fault phase share.
+struct FaultCtx<'a> {
+    /// The driver-owned continuum job: its failures are booked here, not
+    /// by a tracker.
+    cont_id: JobId,
+    /// Allocation size, for wrapping planned node ids onto real nodes.
+    nodes: u32,
+    nodes_failed: &'a mut u64,
+    jobs_crashed: &'a mut u64,
+    jobs_hung: &'a mut u64,
+    ledger: &'a mut RunLedger,
+}
+
+/// Drains every hardware-attrition arrival due at or before `t`: Flux
+/// drains the node, resident jobs crash (their trackers resubmit them on
+/// the next poll), and a continuum casualty is booked on the ledger.
+fn apply_due_attrition(
+    t: SimTime,
+    failures: &mut FailureProcess,
+    wm: &mut CampaignWm,
+    ctx: &mut FaultCtx<'_>,
+) {
+    while let Some((_, node)) = failures.pop_due(t) {
+        if !wm.launcher().graph().is_drained(node) {
+            let victims = wm.launcher_mut().fail_node(node, t);
+            *ctx.nodes_failed += 1;
+            *ctx.jobs_crashed += victims.len() as u64;
+            if victims.contains(&ctx.cont_id) {
+                ctx.ledger.continuum_failed += 1;
+            }
+        }
+    }
+}
+
+/// Applies one due chaos-plan event. `WmCrash` is the caller's job — it
+/// rebuilds the WM incarnation and therefore needs the whole run scope —
+/// and the parallel barrier never runs while one is due.
+fn apply_plan_fault(
+    kind: FaultKind,
+    ev_t: SimTime,
+    t: SimTime,
+    wm: &mut CampaignWm,
+    tracer: &Tracer,
+    ctx: &mut FaultCtx<'_>,
+) {
+    match kind {
+        FaultKind::NodeFail { node } => {
+            let node = node % ctx.nodes.max(1);
+            if !wm.launcher().graph().is_drained(node) {
+                let victims = wm.launcher_mut().fail_node(node, t);
+                *ctx.nodes_failed += 1;
+                *ctx.jobs_crashed += victims.len() as u64;
+                if victims.contains(&ctx.cont_id) {
+                    ctx.ledger.continuum_failed += 1;
+                }
+                tracer.instant_at(
+                    t,
+                    "chaos",
+                    "chaos.node_fail",
+                    &[("node", node.into()), ("count", victims.len().into())],
+                );
+            }
+        }
+        FaultKind::StoreFaults {
+            op,
+            period,
+            duration,
+            ..
+        } => {
+            // The window itself was pre-installed on the store;
+            // this marks its opening in the trace.
+            tracer.instant_at(
+                t,
+                "chaos",
+                "chaos.store_window",
+                &[
+                    ("op", op.label().into()),
+                    ("period", period.into()),
+                    ("from", ev_t.as_micros().into()),
+                    ("until", (ev_t + duration).as_micros().into()),
+                ],
+            );
+        }
+        FaultKind::JobHang { class } => {
+            if let Some(id) = wm.launcher_mut().hang_running(class, t) {
+                *ctx.jobs_hung += 1;
+                tracer.instant_at(
+                    t,
+                    "chaos",
+                    "chaos.hang",
+                    &[("class", class.label().into()), ("job", id.0.into())],
+                );
+            }
+        }
+        FaultKind::WmCrash => unreachable!("WmCrash is drained inline by the run loop"),
+    }
 }
 
 impl Campaign {
@@ -507,6 +632,16 @@ impl Campaign {
         for ev in &plan.events {
             plan_q.schedule(ev.at, ev.kind);
         }
+        // WM crash points, in time order. The parallel barrier consults
+        // the front: a crash discards the incarnation mid-iteration (any
+        // candidates ingested earlier in the same pass die with it), so a
+        // barrier with a crash due must run the legacy serial body.
+        let mut crash_times: VecDeque<SimTime> = plan
+            .events
+            .iter()
+            .filter(|ev| matches!(ev.kind, FaultKind::WmCrash))
+            .map(|ev| ev.at)
+            .collect();
         let mut wm_crashes = 0u64;
         let mut jobs_hung = 0u64;
         let mut ledger = RunLedger {
@@ -540,6 +675,7 @@ impl Campaign {
         );
 
         let mut driver_iterations = 0u64;
+        let mut forced_advances = 0u64;
         // Per-tick scratch buffers, hoisted out of the loop: candidate
         // staging and the WM event list are drained every pass, so one
         // allocation serves the whole run.
@@ -549,131 +685,266 @@ impl Campaign {
             driver_iterations += 1;
             self.tracer.set_now(t);
             store.set_now(t);
-            // Continuum output: new snapshot → patch candidates.
-            while next_snapshot <= t {
-                self.snapshots += 1;
-                self.cont_samples.push(
-                    cont_perf.sample(JobShape::continuum(cont_nodes).total_cores(), &mut rng),
-                );
-                for _ in 0..self.cfg.patches_per_snapshot {
-                    self.next_id += 1;
-                    self.patches += 1;
-                    let id = format!("cg-{:010}", self.next_id);
-                    let state = rng.gen_range(0..app3::PATCH_QUEUES);
-                    let encoded: Vec<f64> = (0..app3::PATCH_LATENT_DIM)
-                        .map(|_| rng.gen_range(-1.0..1.0))
-                        .collect();
-                    point_buf.push(app3::state_tagged_point(&id, state, encoded));
-                }
-                wm.add_patch_candidates_from(&mut point_buf);
-                next_snapshot += self.cfg.snapshot_interval;
-            }
 
-            // CG analyses flag frames as AA candidates, proportional to the
-            // number of running CG simulations and to the virtual time that
-            // actually elapsed since the last driver pass (so the rate is
-            // honoured whether the clock sweeps or jumps).
+            // Barrier flavor. Between wakeups the domain partitions are
+            // causally independent, so a heavy barrier (snapshot due, or
+            // a large accumulated frame batch) forks data generation
+            // against the scheduler poll; light barriers and any barrier
+            // with a WM crash due run the legacy serial body. Both paths
+            // produce byte-identical same-seed traces — `--serial` and
+            // the fork threshold are wall-clock knobs, never semantic.
+            let crash_due = crash_times.front().is_some_and(|&at| at <= t);
             let (cg_running, _) = wm.launcher().class_counts(JobClass::CgSim);
-            frame_accum +=
-                cg_running as f64 * self.cfg.frames_per_sim_per_min * t.since(prev_t).as_mins_f64();
-            let n_frames = frame_accum as usize;
-            frame_accum -= n_frames as f64;
-            if n_frames > 0 {
-                for _ in 0..n_frames {
-                    self.next_id += 1;
-                    self.frames += 1;
-                    let id = format!("aa-{:010}", self.next_id);
-                    let coords = vec![
-                        rng.gen_range(0.0..1.0),
-                        rng.gen_range(0.0..1.0),
-                        rng.gen_range(0.0..1.0),
-                    ];
-                    // The analyzed frame also lands in the data store for
-                    // the CG→continuum feedback round (paper Task 4). A
-                    // store-fault window may reject the write: the frame is
-                    // simply lost to feedback, never to job accounting.
-                    let frame = CgFrame {
-                        id: id.clone(),
-                        time: t.as_secs_f64(),
-                        encoding: [coords[0], coords[1], coords[2]],
-                        rdfs: vec![vec![1.0 + coords[0] - coords[1]; 8]],
+            let est_frames = frame_accum
+                + cg_running as f64
+                    * self.cfg.frames_per_sim_per_min
+                    * t.since(prev_t).as_mins_f64();
+            let fork_barrier = !self.cfg.serial_loop
+                && self.cfg.mode == DriveMode::EventDriven
+                && !crash_due
+                && (next_snapshot <= t || est_frames >= PARALLEL_FRAME_THRESHOLD);
+
+            if fork_barrier {
+                // Conservative-PDES fork (DESIGN.md "Parallel event
+                // loop"). Fault injection runs first, serially: data
+                // generation never reads engine state (the CG count was
+                // captured above, exactly the value the serial body
+                // reads before its own fault drain), and fault
+                // application touches neither the store nor the driver
+                // RNG. Each phase traces into its own staged sink; the
+                // stages are absorbed below in the serial loop's
+                // statement order — generation, faults, poll — so the
+                // merged trace is byte-identical to the serial body's.
+                let staged_gen = self.tracer.stage();
+                let staged_fault = self.tracer.stage();
+                let staged_poll = self.tracer.stage();
+
+                wm.launcher_mut().set_tracer(staged_fault.clone());
+                apply_due_attrition(
+                    t,
+                    &mut failures,
+                    &mut wm,
+                    &mut FaultCtx {
+                        cont_id,
+                        nodes,
+                        nodes_failed: &mut nodes_failed,
+                        jobs_crashed: &mut jobs_crashed,
+                        jobs_hung: &mut jobs_hung,
+                        ledger: &mut ledger,
+                    },
+                );
+                while plan_q.peek_time().is_some_and(|at| at <= t) {
+                    let Some((ev_t, kind)) = plan_q.pop() else {
+                        break;
                     };
-                    let _ = store.write(mummi_core::ns::RDF_NEW, &id, &frame.encode());
-                    point_buf.push(dynim::HdPoint::new(id, coords));
+                    apply_plan_fault(
+                        kind,
+                        ev_t,
+                        t,
+                        &mut wm,
+                        &staged_fault,
+                        &mut FaultCtx {
+                            cont_id,
+                            nodes,
+                            nodes_failed: &mut nodes_failed,
+                            jobs_crashed: &mut jobs_crashed,
+                            jobs_hung: &mut jobs_hung,
+                            ledger: &mut ledger,
+                        },
+                    );
                 }
-                wm.add_frame_candidates_from(&mut point_buf);
-            }
+                wm.set_tracer(staged_poll.clone());
+                wm.launcher_mut().set_tracer(staged_poll.clone());
+                store.inner_mut().set_tracer(staged_gen.clone());
 
-            // Hardware attrition: the failure process decides which nodes
-            // die and when; the driver applies each arrival at the wakeup
-            // that covers it. Flux drains the node and the trackers
-            // resubmit the crashed simulations.
-            while let Some((_, node)) = failures.pop_due(t) {
-                if !wm.launcher().graph().is_drained(node) {
-                    let victims = wm.launcher_mut().fail_node(node, t);
-                    nodes_failed += 1;
-                    jobs_crashed += victims.len() as u64;
-                    if victims.contains(&cont_id) {
-                        ledger.continuum_failed += 1;
-                    }
-                }
-            }
-
-            // Scheduled faults from the chaos plan whose time has come.
-            while plan_q.peek_time().is_some_and(|at| at <= t) {
-                let Some((ev_t, kind)) = plan_q.pop() else {
-                    break;
-                };
-                match kind {
-                    FaultKind::NodeFail { node } => {
-                        let node = node % nodes.max(1);
-                        if !wm.launcher().graph().is_drained(node) {
-                            let victims = wm.launcher_mut().fail_node(node, t);
-                            nodes_failed += 1;
-                            jobs_crashed += victims.len() as u64;
-                            if victims.contains(&cont_id) {
-                                ledger.continuum_failed += 1;
+                let mut patch_batches: Vec<Vec<dynim::HdPoint>> = Vec::new();
+                let mut frame_points: Vec<dynim::HdPoint> = Vec::new();
+                let (n_frames, ()) =
+                    rayon::join(
+                        || {
+                            // GEN partition: continuum snapshots → patch
+                            // candidates, CG frame analysis → AA candidates
+                            // plus the feedback-round store writes. Owns the
+                            // driver RNG. Candidate ingestion is deferred to
+                            // the ordered merge below — it emits no trace
+                            // events and never touches launcher state, so
+                            // deferral cannot change a byte.
+                            while next_snapshot <= t {
+                                self.snapshots += 1;
+                                self.cont_samples.push(cont_perf.sample(
+                                    JobShape::continuum(cont_nodes).total_cores(),
+                                    &mut rng,
+                                ));
+                                let mut batch = Vec::with_capacity(self.cfg.patches_per_snapshot);
+                                for _ in 0..self.cfg.patches_per_snapshot {
+                                    self.next_id += 1;
+                                    self.patches += 1;
+                                    let id = format!("cg-{:010}", self.next_id);
+                                    let state = rng.gen_range(0..app3::PATCH_QUEUES);
+                                    let encoded: Vec<f64> = (0..app3::PATCH_LATENT_DIM)
+                                        .map(|_| rng.gen_range(-1.0..1.0))
+                                        .collect();
+                                    batch.push(app3::state_tagged_point(&id, state, encoded));
+                                }
+                                patch_batches.push(batch);
+                                next_snapshot += self.cfg.snapshot_interval;
                             }
-                            self.tracer.instant_at(
-                                t,
-                                "chaos",
-                                "chaos.node_fail",
-                                &[("node", node.into()), ("count", victims.len().into())],
-                            );
-                        }
+                            frame_accum += cg_running as f64
+                                * self.cfg.frames_per_sim_per_min
+                                * t.since(prev_t).as_mins_f64();
+                            let n_frames = frame_accum as usize;
+                            frame_accum -= n_frames as f64;
+                            for _ in 0..n_frames {
+                                self.next_id += 1;
+                                self.frames += 1;
+                                let id = format!("aa-{:010}", self.next_id);
+                                let coords = vec![
+                                    rng.gen_range(0.0..1.0),
+                                    rng.gen_range(0.0..1.0),
+                                    rng.gen_range(0.0..1.0),
+                                ];
+                                let frame = CgFrame {
+                                    id: id.clone(),
+                                    time: t.as_secs_f64(),
+                                    encoding: [coords[0], coords[1], coords[2]],
+                                    rdfs: vec![vec![1.0 + coords[0] - coords[1]; 8]],
+                                };
+                                let _ = store.write(mummi_core::ns::RDF_NEW, &id, &frame.encode());
+                                frame_points.push(dynim::HdPoint::new(id, coords));
+                            }
+                            n_frames
+                        },
+                        || {
+                            // POLL partition: job completions, resubmission
+                            // draws, hang expiry. Reads neither the store
+                            // nor the candidate selector.
+                            wm.tick_poll_phase(t, &mut wm_events);
+                        },
+                    );
+
+                // Ordered merge: absorb the staged events and metric ops
+                // in the serial statement order, then restore the shared
+                // tracer handles.
+                self.tracer.absorb(&staged_gen);
+                self.tracer.absorb(&staged_fault);
+                self.tracer.absorb(&staged_poll);
+                wm.set_tracer(self.tracer.clone());
+                wm.launcher_mut().set_tracer(self.tracer.clone());
+                store.inner_mut().set_tracer(self.tracer.clone());
+
+                // Deferred candidate ingestion, in the serial call
+                // order: one batch per snapshot, then the frame batch.
+                for mut batch in patch_batches {
+                    wm.add_patch_candidates_from(&mut batch);
+                }
+                if n_frames > 0 {
+                    wm.add_frame_candidates_from(&mut frame_points);
+                }
+
+                // Maintenance half of the WM cycle, serial on the main
+                // tracer: ready-buffer fill, feedback (store reads),
+                // occupancy profiling.
+                wm.tick_maintain_phase(t, &mut store, &mut wm_events);
+            } else {
+                // Continuum output: new snapshot → patch candidates.
+                while next_snapshot <= t {
+                    self.snapshots += 1;
+                    self.cont_samples.push(
+                        cont_perf.sample(JobShape::continuum(cont_nodes).total_cores(), &mut rng),
+                    );
+                    for _ in 0..self.cfg.patches_per_snapshot {
+                        self.next_id += 1;
+                        self.patches += 1;
+                        let id = format!("cg-{:010}", self.next_id);
+                        let state = rng.gen_range(0..app3::PATCH_QUEUES);
+                        let encoded: Vec<f64> = (0..app3::PATCH_LATENT_DIM)
+                            .map(|_| rng.gen_range(-1.0..1.0))
+                            .collect();
+                        point_buf.push(app3::state_tagged_point(&id, state, encoded));
                     }
-                    FaultKind::StoreFaults {
-                        op,
-                        period,
-                        duration,
-                        ..
-                    } => {
-                        // The window itself was pre-installed on the store;
-                        // this marks its opening in the trace.
-                        self.tracer.instant_at(
+                    wm.add_patch_candidates_from(&mut point_buf);
+                    next_snapshot += self.cfg.snapshot_interval;
+                }
+
+                // CG analyses flag frames as AA candidates, proportional to the
+                // number of running CG simulations and to the virtual time that
+                // actually elapsed since the last driver pass (so the rate is
+                // honoured whether the clock sweeps or jumps).
+                let (cg_running, _) = wm.launcher().class_counts(JobClass::CgSim);
+                frame_accum += cg_running as f64
+                    * self.cfg.frames_per_sim_per_min
+                    * t.since(prev_t).as_mins_f64();
+                let n_frames = frame_accum as usize;
+                frame_accum -= n_frames as f64;
+                if n_frames > 0 {
+                    for _ in 0..n_frames {
+                        self.next_id += 1;
+                        self.frames += 1;
+                        let id = format!("aa-{:010}", self.next_id);
+                        let coords = vec![
+                            rng.gen_range(0.0..1.0),
+                            rng.gen_range(0.0..1.0),
+                            rng.gen_range(0.0..1.0),
+                        ];
+                        // The analyzed frame also lands in the data store for
+                        // the CG→continuum feedback round (paper Task 4). A
+                        // store-fault window may reject the write: the frame is
+                        // simply lost to feedback, never to job accounting.
+                        let frame = CgFrame {
+                            id: id.clone(),
+                            time: t.as_secs_f64(),
+                            encoding: [coords[0], coords[1], coords[2]],
+                            rdfs: vec![vec![1.0 + coords[0] - coords[1]; 8]],
+                        };
+                        let _ = store.write(mummi_core::ns::RDF_NEW, &id, &frame.encode());
+                        point_buf.push(dynim::HdPoint::new(id, coords));
+                    }
+                    wm.add_frame_candidates_from(&mut point_buf);
+                }
+
+                // Hardware attrition: the failure process decides which nodes
+                // die and when; the driver applies each arrival at the wakeup
+                // that covers it. Flux drains the node and the trackers
+                // resubmit the crashed simulations.
+                apply_due_attrition(
+                    t,
+                    &mut failures,
+                    &mut wm,
+                    &mut FaultCtx {
+                        cont_id,
+                        nodes,
+                        nodes_failed: &mut nodes_failed,
+                        jobs_crashed: &mut jobs_crashed,
+                        jobs_hung: &mut jobs_hung,
+                        ledger: &mut ledger,
+                    },
+                );
+
+                // Scheduled faults from the chaos plan whose time has come.
+                while plan_q.peek_time().is_some_and(|at| at <= t) {
+                    let Some((ev_t, kind)) = plan_q.pop() else {
+                        break;
+                    };
+                    if !matches!(kind, FaultKind::WmCrash) {
+                        apply_plan_fault(
+                            kind,
+                            ev_t,
                             t,
-                            "chaos",
-                            "chaos.store_window",
-                            &[
-                                ("op", op.label().into()),
-                                ("period", period.into()),
-                                ("from", ev_t.as_micros().into()),
-                                ("until", (ev_t + duration).as_micros().into()),
-                            ],
+                            &mut wm,
+                            &self.tracer,
+                            &mut FaultCtx {
+                                cont_id,
+                                nodes,
+                                nodes_failed: &mut nodes_failed,
+                                jobs_crashed: &mut jobs_crashed,
+                                jobs_hung: &mut jobs_hung,
+                                ledger: &mut ledger,
+                            },
                         );
+                        continue;
                     }
-                    FaultKind::JobHang { class } => {
-                        if let Some(id) = wm.launcher_mut().hang_running(class, t) {
-                            jobs_hung += 1;
-                            self.tracer.instant_at(
-                                t,
-                                "chaos",
-                                "chaos.hang",
-                                &[("class", class.label().into()), ("job", id.0.into())],
-                            );
-                        }
-                    }
-                    FaultKind::WmCrash => {
+                    {
+                        crash_times.pop_front();
                         wm_crashes += 1;
                         // The checkpoint is the only state that survives the
                         // crash; live jobs die with the incarnation.
@@ -765,10 +1036,11 @@ impl Campaign {
                         watch.reset();
                     }
                 }
+
+                // The WM cycle.
+                wm.tick_into(t, &mut store, &mut wm_events);
             }
 
-            // The WM cycle.
-            wm.tick_into(t, &mut store, &mut wm_events);
             for ev in wm_events.drain(..) {
                 match ev {
                     WmEvent::CgSimStarted { sim_id, .. } | WmEvent::AaSimStarted { sim_id, .. } => {
@@ -824,17 +1096,33 @@ impl Campaign {
                     if t >= end {
                         break;
                     }
-                    // Next-event time advance: jump straight to the
-                    // earliest instant anything can happen — scheduler or
-                    // WM activity, a continuum snapshot, a fault-plan
-                    // event, or a node failure — clamped so the run still
-                    // closes with a final pass exactly at `end`.
-                    let mut next = next_snapshot.min(wm.next_wakeup(t));
-                    next = next.min(failures.next_at());
-                    if let Some(at) = plan_q.peek_time() {
-                        next = next.min(at);
+                    // Next-event time advance: jump straight to the safe
+                    // horizon — the earliest instant anything can happen,
+                    // under the documented tie-break (snapshot, failure,
+                    // chaos, WM) — clamped so the run still closes with a
+                    // final pass exactly at `end`. Every source returns a
+                    // wakeup strictly after `t` once its due work is
+                    // drained; a stale (already-past) horizon is a source
+                    // contract violation, counted instead of silently
+                    // masked as 1 µs of drift (the legacy `.max(t + 1µs)`
+                    // clamp), and fatal under debug.
+                    let horizon = driver::next_horizon(
+                        next_snapshot,
+                        failures.next_at(),
+                        plan_q.peek_time(),
+                        wm.next_wakeup(t),
+                    );
+                    let (next_t, forced) = driver::advance_clock(t, horizon.at, end);
+                    if forced {
+                        forced_advances += 1;
+                        debug_assert!(
+                            false,
+                            "stale wakeup from {:?} at t={}us",
+                            horizon.source,
+                            t.as_micros()
+                        );
                     }
-                    t = next.min(end).max(t + SimDuration::from_micros(1));
+                    t = next_t;
                 }
             }
         }
@@ -928,6 +1216,7 @@ impl Campaign {
             jobs_abandoned: wm_stats.jobs_abandoned,
             ledger,
             driver_iterations,
+            forced_advances,
         };
         self.tracer.instant_at(
             end,

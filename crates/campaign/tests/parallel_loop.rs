@@ -1,0 +1,141 @@
+//! Serial/parallel equivalence of the campaign event loop.
+//!
+//! The parallel driver is a conservative-PDES partitioning of the exact
+//! same per-barrier work: data generation and the scheduler poll fork
+//! onto threads between safe horizons, trace emission goes through
+//! staged sinks absorbed in the serial statement order, and candidate
+//! ingestion is deferred past the join. None of that is allowed to move
+//! a single byte: `--serial` (`CampaignConfig::serial_loop`) is a
+//! wall-clock toggle, never a semantic one. These tests are the
+//! differential oracle — smoke, chaos (including the WM-crash serial
+//! fallback), and report-level equality.
+//!
+//! The thread count is whatever `RAYON_NUM_THREADS`/the host provides;
+//! CI runs this file once unpinned and once at 4 threads.
+
+use campaign::{Campaign, CampaignConfig, RunReport};
+use chaos::{FaultPlan, RunLedger};
+use resources::MatchPolicy;
+use sched::Coupling;
+use simcore::SimDuration;
+use trace::Tracer;
+
+fn busy_cfg() -> CampaignConfig {
+    CampaignConfig {
+        patches_per_snapshot: 6,
+        frames_per_sim_per_min: 0.05,
+        cg_target_us: 0.5,
+        aa_target_ns: (5.0, 8.0),
+        queue_cap: 500,
+        policy: MatchPolicy::FirstMatch,
+        coupling: Coupling::Asynchronous,
+        submit_rate_per_min: 600,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Runs one allocation under the given loop flavor and returns the full
+/// JSONL trace plus the report and campaign data counts.
+fn run_flavor(mut cfg: CampaignConfig, serial: bool) -> (String, RunReport, (u64, u64, u64)) {
+    cfg.serial_loop = serial;
+    let mut c = Campaign::new(cfg);
+    c.set_tracer(Tracer::enabled());
+    let r = c.execute_run(20, 12);
+    (c.tracer().to_jsonl(), r, c.data_counts())
+}
+
+/// The report fields the two loops must agree on exactly (everything
+/// except the figure timelines, which the trace comparison covers).
+fn report_key(r: &RunReport) -> (Vec<u64>, RunLedger, Option<simcore::SimTime>) {
+    (
+        vec![
+            r.placed,
+            r.sims_completed,
+            r.peak_gpu_jobs,
+            r.nodes_failed,
+            r.jobs_crashed,
+            r.wm_crashes,
+            r.jobs_hung,
+            r.store_faults_injected,
+            r.store_ops_delayed,
+            r.jobs_timed_out,
+            r.jobs_abandoned,
+            r.driver_iterations,
+            r.forced_advances,
+        ],
+        r.ledger,
+        r.load_time,
+    )
+}
+
+#[test]
+fn parallel_loop_trace_is_byte_identical_to_serial() {
+    let (serial, rs, cs) = run_flavor(busy_cfg(), true);
+    let (parallel, rp, cp) = run_flavor(busy_cfg(), false);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "serial and parallel traces diverged");
+    assert_eq!(report_key(&rs), report_key(&rp));
+    assert_eq!(cs, cp, "(snapshots, patches, frames) diverged");
+    assert_eq!(rs.forced_advances, 0, "healthy run forced the clock");
+}
+
+#[test]
+fn parallel_loop_with_attrition_matches_serial() {
+    // Node failures land in the barrier's fault phase; the failure
+    // history and every crash/resubmission it triggers must replay
+    // identically through the staged-tracer merge.
+    let cfg = CampaignConfig {
+        node_failures_per_day: 8.0,
+        ..busy_cfg()
+    };
+    let (serial, rs, _) = run_flavor(cfg.clone(), true);
+    let (parallel, rp, _) = run_flavor(cfg, false);
+    assert!(rs.nodes_failed > 0, "attrition must fire to test the merge");
+    assert_eq!(serial, parallel, "attrition traces diverged");
+    assert_eq!(report_key(&rs), report_key(&rp));
+}
+
+#[test]
+fn parallel_loop_under_chaos_plan_matches_serial() {
+    // The full chaos smoke plan: a node kill, a store-fault window, a
+    // job hang, and a WM crash point. The crash barrier must take the
+    // serial fallback (candidates ingested before a crash die with the
+    // incarnation) and still merge back into the identical byte stream.
+    let plan = FaultPlan::smoke(9, SimDuration::from_hours(12), 20);
+    let cfg = CampaignConfig {
+        job_timeout_grace: 1.5,
+        fault_plan: Some(plan),
+        ..busy_cfg()
+    };
+    let (serial, rs, cs) = run_flavor(cfg.clone(), true);
+    let (parallel, rp, cp) = run_flavor(cfg, false);
+    assert_eq!(rs.wm_crashes, 1, "the crash point must fire");
+    assert_eq!(serial, parallel, "chaos traces diverged");
+    assert_eq!(report_key(&rs), report_key(&rp));
+    assert_eq!(cs, cp);
+    let violations = rp.ledger.check();
+    assert!(
+        violations.is_empty(),
+        "books do not balance: {violations:?}"
+    );
+}
+
+#[test]
+fn parallel_loop_checkpoint_chain_matches_serial() {
+    // Byte-identity must hold across allocations too: the checkpoint a
+    // parallel run hands to the next leg is the same one serial hands
+    // over, so a two-leg campaign replays identically end to end.
+    let run_two = |serial: bool| {
+        let mut cfg = busy_cfg();
+        cfg.serial_loop = serial;
+        let mut c = Campaign::new(cfg);
+        c.set_tracer(Tracer::enabled());
+        c.execute_run(10, 8);
+        c.execute_run(20, 8);
+        (c.tracer().to_jsonl(), c.data_counts())
+    };
+    let (serial, cs) = run_two(true);
+    let (parallel, cp) = run_two(false);
+    assert_eq!(serial, parallel, "two-leg traces diverged");
+    assert_eq!(cs, cp);
+}

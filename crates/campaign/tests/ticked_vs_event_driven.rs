@@ -49,43 +49,61 @@ fn ticked_vs_event_driven() {
     assert_eq!(ticked.data_counts().1, event.data_counts().1, "patches");
     assert_eq!(rt.nodes_failed, re.nodes_failed, "failure history");
     assert_eq!(rt.node_hours, re.node_hours);
+    // Exact: neither clock may ever hit the stale-wakeup clamp. The old
+    // 10–25% tolerances below predate the safe-horizon advance and were
+    // loose enough to hide a wakeup source silently skipping work; each
+    // is now tightened to ~2× its audited value and justified inline.
+    assert_eq!(rt.forced_advances, 0, "ticked clock forced an advance");
+    assert_eq!(re.forced_advances, 0, "event clock forced an advance");
 
-    // Tolerances (declared): job flow and occupancy within 10% relative,
-    // frame volume within 15% (frame emission quantizes differently when
-    // the clock jumps), load time within one poll interval.
+    // Job flow within 4% relative (audited delta ~1.8%): wakeup instants
+    // shift placement inside a poll interval, so a handful of jobs near
+    // the end-of-run boundary land on the other side of it.
     assert!(
-        close(rt.placed as f64, re.placed as f64, 0.10),
+        close(rt.placed as f64, re.placed as f64, 0.04),
         "placed: ticked={} event={}",
         rt.placed,
         re.placed
     );
+    // Completions within 5% relative (audited ~1.5%): same boundary
+    // effect, amplified because a completion needs its whole runtime to
+    // fit before `end`.
     assert!(
-        close(rt.sims_completed as f64, re.sims_completed as f64, 0.10),
+        close(rt.sims_completed as f64, re.sims_completed as f64, 0.05),
         "completed: ticked={} event={}",
         rt.sims_completed,
         re.sims_completed
     );
+    // Mean occupancy within 4 points (audited ~2.2): the profile samples
+    // on the WM cadence in both modes, but placements shifting within a
+    // poll interval move GPU-hours between adjacent samples.
     assert!(
-        (rt.gpu_mean_occupancy - re.gpu_mean_occupancy).abs() < 10.0,
+        (rt.gpu_mean_occupancy - re.gpu_mean_occupancy).abs() < 4.0,
         "occupancy: ticked={:.1}% event={:.1}%",
         rt.gpu_mean_occupancy,
         re.gpu_mean_occupancy
     );
+    // Frame volume within 8% relative (audited ~4.7%): emission is
+    // `running × rate × dt` quantized per driver pass, and the two
+    // clocks chop virtual time into different `dt` sequences.
     assert!(
         close(
             ticked.data_counts().2 as f64,
             event.data_counts().2 as f64,
-            0.15
+            0.08
         ),
         "frames: ticked={} event={}",
         ticked.data_counts().2,
         event.data_counts().2
     );
+    // Load time within 20% relative (audited ~14%): "90% of CG target"
+    // is a threshold crossing, so the whole placement jitter above
+    // compounds into when the last needed sim starts.
     let (lt, le) = (rt.load_time, re.load_time);
     assert!(lt.is_some() && le.is_some(), "both modes fully load");
     let (lt, le) = (lt.unwrap().as_secs_f64(), le.unwrap().as_secs_f64());
     assert!(
-        close(lt, le, 0.25),
+        close(lt, le, 0.20),
         "load time: ticked={lt:.0}s event={le:.0}s"
     );
 }

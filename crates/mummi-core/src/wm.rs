@@ -383,6 +383,20 @@ impl<L: Launcher> WorkflowManager<L> {
         store: &mut dyn DataStore,
         events: &mut Vec<WmEvent>,
     ) {
+        self.tick_poll_phase(now, events);
+        self.tick_maintain_phase(now, store, events);
+    }
+
+    /// The first half of a WM cycle: poll the launcher and expire hung
+    /// jobs. This phase never touches the data store, so a parallel
+    /// driver can run it concurrently with data generation that owns the
+    /// store, then finish the cycle with
+    /// [`WorkflowManager::tick_maintain_phase`]. Running both phases
+    /// back-to-back is exactly [`WorkflowManager::tick_into`]: the split
+    /// point is between statements of the serial cycle, and each phase
+    /// consumes the WM's RNG and emits trace events in the same order as
+    /// the unsplit tick.
+    pub fn tick_poll_phase(&mut self, now: SimTime, events: &mut Vec<WmEvent>) {
         // Keep the tracer clock current so emitters without a time
         // parameter (datastore ops, cancellations) stamp correctly.
         self.tracer.set_now(now);
@@ -390,6 +404,19 @@ impl<L: Launcher> WorkflowManager<L> {
         events.clear();
         self.poll_jobs(now, events);
         self.expire_hung_jobs(now, events);
+    }
+
+    /// The second half of a WM cycle: replace finished simulations, keep
+    /// the ready buffers stocked, and run feedback/profiling when due.
+    /// Appends to `events` after [`WorkflowManager::tick_poll_phase`]'s
+    /// output (it does not clear the buffer). Needs the store: feedback
+    /// reads analyzed frames and writes the updated sampling weights.
+    pub fn tick_maintain_phase(
+        &mut self,
+        now: SimTime,
+        store: &mut dyn DataStore,
+        events: &mut Vec<WmEvent>,
+    ) {
         self.maintain_sims(now, events);
         self.maintain_setups(now);
         self.run_feedback(now, store, events);

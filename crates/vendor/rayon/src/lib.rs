@@ -1,126 +1,474 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a real fork-join executor.
 //!
-//! Exposes the `par_iter`/`par_iter_mut`/`into_par_iter`/`par_chunks_mut`
-//! entry points the workspace uses, backed by plain sequential `std`
-//! iterators. Call sites keep their data-parallel shape (no borrows across
-//! items, chunked writes), so swapping the real rayon back in is a
-//! one-line `Cargo.toml` change — and sequential execution is itself a
-//! feature for this repo: identical results on every machine, with no
-//! thread-pool scheduling in the determinism audit surface.
+//! Earlier versions of this shim kept rayon's *shape* (so call sites read
+//! idiomatically and the real crate can swap in) but executed everything
+//! sequentially. The campaign's parallel event loop needs actual threads,
+//! so the shim now runs on scoped `std::thread` workers:
+//!
+//! - [`join`] forks its second closure onto a scoped thread.
+//! - Slice/range parallel iterators split into at most
+//!   [`current_num_threads`] contiguous blocks, one scoped thread per
+//!   block, and reassemble results **in input order** — parallel
+//!   `collect` is byte-identical to sequential `collect`, and `for_each`
+//!   over disjoint `&mut` blocks is schedule-independent by construction.
+//! - Everything degrades to plain sequential execution when only one
+//!   thread is configured (`RAYON_NUM_THREADS=1`, or a single-core host)
+//!   or when the workload is below a fixed cutoff, so tiny inputs don't
+//!   pay thread-spawn latency. The cutoff is a pure performance knob:
+//!   inline and forked execution produce identical results.
+//!
+//! Only the API surface this workspace uses is implemented: `par_iter`,
+//! `par_iter_mut` (+ `zip`), `par_chunks_mut` (+ `enumerate`),
+//! `into_par_iter` on `Range<usize>`, `map`/`collect`/`for_each`, and
+//! `join`.
 
-/// Sequential `into_par_iter` for anything iterable (ranges, vectors).
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Below this many slice elements an element-wise operation runs inline:
+/// spawn latency (~tens of µs) would dominate the work. Correctness does
+/// not depend on the value — forked and inline execution are identical.
+const SEQ_CUTOFF_ELEMS: usize = 4096;
+
+/// Number of worker threads the executor may use: `RAYON_NUM_THREADS`
+/// when set to a positive integer, otherwise the host's available
+/// parallelism. `1` disables forking entirely.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `b` is forked onto a scoped thread while `a` runs on the caller; with a
+/// single configured thread both run sequentially on the caller. A panic
+/// in either closure propagates to the caller either way.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            (ra, rb)
+        })
+    }
+}
+
+/// Ordered parallel map over `0..n`: blocks are computed on scoped
+/// threads and concatenated in index order.
+fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let block = n.div_ceil(threads);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        while start < n {
+            let end = (start + block).min(n);
+            let fr = &f;
+            handles.push(s.spawn(move || (start..end).map(fr).collect::<Vec<R>>()));
+            start = end;
+        }
+        for h in handles {
+            match h.join() {
+                Ok(mut part) => out.append(&mut part),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    out
+}
+
+/// Parallel `for_each` over disjoint `&mut` blocks of a slice.
+fn for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < SEQ_CUTOFF_ELEMS {
+        for it in items.iter_mut() {
+            f(it);
+        }
+        return;
+    }
+    let block = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for chunk in items.chunks_mut(block) {
+            let fr = &f;
+            s.spawn(move || {
+                for it in chunk.iter_mut() {
+                    fr(it);
+                }
+            });
+        }
+    });
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element; the result collects in input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], pending a `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects mapped elements **in input order** (rayon's indexed
+    /// collect semantics), regardless of which thread computed them.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        let items = self.items;
+        map_indexed(items.len(), |i| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// A parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every element; writes are disjoint per element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        for_each_mut(self.items, f);
+    }
+
+    /// Pairs this iterator with a shared-reference iterator of matching
+    /// length (pairs beyond the shorter side are dropped, as in rayon).
+    pub fn zip<U: Sync>(self, other: ParIter<'a, U>) -> ParZipMut<'a, T, U> {
+        ParZipMut {
+            a: self.items,
+            b: other.items,
+        }
+    }
+}
+
+/// `par_iter_mut().zip(par_iter())`: element-wise disjoint writes with a
+/// read-only companion slice.
+pub struct ParZipMut<'a, T, U> {
+    a: &'a mut [T],
+    b: &'a [U],
+}
+
+impl<T: Send, U: Sync> ParZipMut<'_, T, U> {
+    /// Applies `f` to every aligned pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut T, &U)) + Sync,
+    {
+        let n = self.a.len().min(self.b.len());
+        let a = &mut self.a[..n];
+        let b = &self.b[..n];
+        let threads = current_num_threads();
+        if threads <= 1 || n < SEQ_CUTOFF_ELEMS {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                f((x, y));
+            }
+            return;
+        }
+        let block = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ca, cb) in a.chunks_mut(block).zip(b.chunks(block)) {
+                let fr = &f;
+                s.spawn(move || {
+                    for (x, y) in ca.iter_mut().zip(cb.iter()) {
+                        fr((x, y));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// A parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Numbers each chunk with its index (chunk order, as `chunks_mut`).
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            items: self.items,
+            size: self.size,
+        }
+    }
+}
+
+/// `par_chunks_mut(size).enumerate()`: indexed disjoint row bands.
+pub struct ParChunksMutEnumerate<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Applies `f` to every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let size = self.size.max(1);
+        let items = self.items;
+        let chunk_count = items.len().div_ceil(size).max(1);
+        let threads = current_num_threads();
+        if threads <= 1 || items.len() < SEQ_CUTOFF_ELEMS || chunk_count < 2 {
+            for (i, ch) in items.chunks_mut(size).enumerate() {
+                f((i, ch));
+            }
+            return;
+        }
+        // Split whole chunks into at most `threads` contiguous bands so
+        // each scoped thread owns a disjoint `&mut` region and global
+        // chunk indices stay exact.
+        let chunks_per_band = chunk_count.div_ceil(threads);
+        let band_elems = chunks_per_band * size;
+        std::thread::scope(|s| {
+            let mut rest = items;
+            let mut band_idx = 0usize;
+            while !rest.is_empty() {
+                let take = band_elems.min(rest.len());
+                let (band, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let first_chunk = band_idx * chunks_per_band;
+                let fr = &f;
+                s.spawn(move || {
+                    for (j, ch) in band.chunks_mut(size).enumerate() {
+                        fr((first_chunk + j, ch));
+                    }
+                });
+                band_idx += 1;
+            }
+        });
+    }
+}
+
+/// `par_iter` on shared slices (and anything that derefs to one).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Disjoint mutable chunks of `size` elements (last may be short).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { items: self, size }
+    }
+}
+
+/// An indexed parallel producer over an owned range.
+pub struct RangePar {
+    range: Range<usize>,
+}
+
+impl RangePar {
+    /// Maps each index; the result collects in index order.
+    pub fn map<R, F>(self, f: F) -> RangeParMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        RangeParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The result of [`RangePar::map`], pending a `collect`.
+pub struct RangeParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<R, F> RangeParMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Collects mapped indices in index order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        map_indexed(n, |i| f(start + i)).into_iter().collect()
+    }
+}
+
+/// `into_par_iter` on owned producers (only `Range<usize>` is needed
+/// by this workspace).
 pub trait IntoParallelIterator {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// Converts into a (sequential) "parallel" iterator.
+    /// The parallel producer type.
+    type Iter;
+    /// Converts `self` into a parallel producer.
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
     }
-}
-
-/// Sequential `par_iter` over shared references.
-pub trait IntoParallelRefIterator<'data> {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type (a shared reference).
-    type Item: 'data;
-    /// Borrowing (sequential) "parallel" iteration.
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-where
-    &'data I: IntoIterator,
-{
-    type Iter = <&'data I as IntoIterator>::IntoIter;
-    type Item = <&'data I as IntoIterator>::Item;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Sequential `par_iter_mut` over exclusive references.
-pub trait IntoParallelRefMutIterator<'data> {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type (an exclusive reference).
-    type Item: 'data;
-    /// Mutating (sequential) "parallel" iteration.
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-where
-    &'data mut I: IntoIterator,
-{
-    type Iter = <&'data mut I as IntoIterator>::IntoIter;
-    type Item = <&'data mut I as IntoIterator>::Item;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Sequential chunked mutation over slices.
-pub trait ParallelSliceMut<T> {
-    /// Chunked (sequential) "parallel" mutation; chunk size `chunk_size`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
-    }
-}
-
-/// Runs the two closures (sequentially) and returns both results —
-/// signature-compatible with `rayon::join`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
 }
 
 /// The conventional prelude.
 pub mod prelude {
-    pub use super::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
-    };
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
-    fn par_surface_behaves_like_std() {
-        let v = vec![1, 2, 3, 4];
-        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    fn par_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), v.len());
+        assert!(doubled.iter().enumerate().all(|(i, &d)| d == 2 * i as u64));
+    }
 
-        let mut w = vec![1, 2, 3];
-        w.par_iter_mut().for_each(|x| *x += 10);
-        assert_eq!(w, vec![11, 12, 13]);
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v: Vec<i64> = vec![1; 10_000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
 
-        let squares: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
-        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    #[test]
+    fn zip_pairs_elements_and_stops_at_shorter() {
+        let mut a: Vec<i64> = vec![0; 8192];
+        let b: Vec<i64> = (0..8000).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, y)| *x = *y + 1);
+        assert_eq!(a[0], 1);
+        assert_eq!(a[7999], 8000);
+        assert_eq!(a[8000], 0, "pairs beyond the shorter side are dropped");
+    }
 
-        let mut data = vec![0u32; 6];
-        data.par_chunks_mut(2)
+    #[test]
+    fn chunks_mut_enumerate_numbers_rows_globally() {
+        let nx = 64;
+        let ny = 128;
+        let mut grid = vec![0usize; nx * ny];
+        grid.par_chunks_mut(nx)
             .enumerate()
-            .for_each(|(i, chunk)| chunk.fill(i as u32));
-        assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+            .for_each(|(y, row)| row.iter_mut().for_each(|c| *c = y));
+        for y in 0..ny {
+            assert!(grid[y * nx..(y + 1) * nx].iter().all(|&c| c == y));
+        }
+    }
 
-        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
-        assert_eq!((a, b.as_str()), (2, "xy"));
+    #[test]
+    fn range_into_par_iter_collects_in_index_order() {
+        let squares: Vec<usize> = (0..5000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[0], 0);
+        assert_eq!(squares[4999], 4999 * 4999);
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), c) = join(|| join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_are_identical() {
+        // The executor contract the campaign loop leans on: forked and
+        // inline execution of the same ordered op produce the same bytes.
+        let v: Vec<u64> = (0..20_000).map(|i| i * 7 % 1013).collect();
+        let par: Vec<u64> = v.par_iter().map(|x| x ^ 0xAB).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x ^ 0xAB).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
     }
 }
