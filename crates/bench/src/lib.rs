@@ -11,7 +11,7 @@ use simcore::Histogram;
 use trace::Tracer;
 
 pub mod files;
-pub mod json;
+pub use trace::json;
 
 /// Tracing options shared by the figure binaries.
 ///

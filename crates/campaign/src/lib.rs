@@ -21,6 +21,7 @@
 //!   campaign that hops across variable-sized allocations on different
 //!   clusters through its checkpoints.
 
+pub mod control;
 pub mod driver;
 pub mod failures;
 pub mod feedback_model;
@@ -29,10 +30,11 @@ mod persistent;
 mod run;
 pub mod sweep;
 
+pub use control::{ceil_hour, RunControl, RunProgress};
 pub use driver::{advance_clock, next_horizon, Horizon, WakeSource};
 pub use failures::FailureProcess;
 pub use feedback_model::{FeedbackTimingModel, Iteration};
 pub use perf::{AaPerf, CgPerf, ContinuumPerf};
 pub use persistent::{AllocationOffer, ClusterUsage, PersistentCampaign};
-pub use run::{Campaign, CampaignConfig, DriveMode, RunReport};
+pub use run::{Campaign, CampaignConfig, ConfigError, DriveMode, RunReport};
 pub use sweep::{run_table_runs, run_table_runs_serial, SweepResult, SweepRun};

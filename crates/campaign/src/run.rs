@@ -18,6 +18,7 @@ use sched::{Costs, Coupling, JobClass, JobId, JobSpec, SchedEngine};
 use simcore::{EventQueue, OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
 use trace::Tracer;
 
+use crate::control::RunControl;
 use crate::driver;
 use crate::failures::FailureProcess;
 use crate::perf::{AaPerf, CgPerf, ContinuumPerf};
@@ -139,7 +140,57 @@ impl Default for CampaignConfig {
     }
 }
 
+/// A campaign configuration the driver refuses to run. Historically the
+/// use sites silently rewrote bad values (`.max(1)` on the divisor,
+/// `.max(8)` on the cap); a service accepting configs over the wire must
+/// reject them instead — an operator who typed `ready_buffer_divisor: 0`
+/// meant *something*, and it was not "10".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `ready_buffer_divisor` is 0 — the ready-buffer target would divide
+    /// by zero.
+    ZeroReadyBufferDivisor,
+    /// `ready_buffer_cap` is below 8 — the CG buffer clamps into
+    /// `8..=cap` and the AA buffer into `4..=cap/2`, so any cap under 8
+    /// would invert a clamp range.
+    ReadyBufferCapTooSmall {
+        /// The rejected cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroReadyBufferDivisor => {
+                write!(f, "ready_buffer_divisor must be >= 1 (got 0)")
+            }
+            ConfigError::ReadyBufferCapTooSmall { cap } => {
+                write!(f, "ready_buffer_cap must be >= 8 (got {cap})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl CampaignConfig {
+    /// Checks the invariants the run loop relies on. [`Campaign::new`]
+    /// enforces this (loudly), and wire-facing services reject invalid
+    /// submissions with the typed error instead of mutating them. The
+    /// defaults always validate.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ready_buffer_divisor == 0 {
+            return Err(ConfigError::ZeroReadyBufferDivisor);
+        }
+        if self.ready_buffer_cap < 8 {
+            return Err(ConfigError::ReadyBufferCapTooSmall {
+                cap: self.ready_buffer_cap,
+            });
+        }
+        Ok(())
+    }
+
     /// Configuration for one rung of the Summit scale ladder (`nodes`
     /// compute nodes, 6 GPUs each): §5.2's fixed engine (greedy matching,
     /// asynchronous Q↔R), the hang watchdog armed as the 4,000-node
@@ -187,9 +238,11 @@ struct SimRecord {
 pub struct RunReport {
     /// Allocation size.
     pub nodes: u32,
-    /// Wall-clock (virtual) hours.
+    /// Wall-clock (virtual) hours actually executed. Equals the requested
+    /// allocation length unless a [`RunControl`] pause ended the run
+    /// early (pauses land on whole-hour boundaries, so this stays exact).
     pub hours: u64,
-    /// nodes × hours.
+    /// nodes × executed hours.
     pub node_hours: u64,
     /// Jobs placed during the run.
     pub placed: u64,
@@ -232,6 +285,10 @@ pub struct RunReport {
     /// honors the "never late, never stale" contract; a nonzero count
     /// means a `next_wakeup` accessor regressed.
     pub forced_advances: u64,
+    /// The virtual time a cooperative pause stopped the run, if one did.
+    /// Always a whole-hour boundary; `None` for runs that reached their
+    /// requested end.
+    pub paused_at: Option<SimTime>,
 }
 
 /// The persistent campaign: survives across runs via checkpoints, exactly
@@ -379,7 +436,18 @@ fn apply_plan_fault(
 
 impl Campaign {
     /// Starts a fresh campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CampaignConfig::validate`] — an in-process
+    /// caller constructing a config that divides by zero is a programming
+    /// error, not a recoverable condition. Services accepting configs
+    /// over a wire call `validate()` first and turn the typed error into
+    /// a rejection.
     pub fn new(cfg: CampaignConfig) -> Campaign {
+        if let Err(err) = cfg.validate() {
+            panic!("invalid campaign config: {err}");
+        }
         let seeds = SeedStream::new(cfg.seed);
         Campaign {
             cfg,
@@ -475,6 +543,41 @@ impl Campaign {
     /// workflow path: "coordinate variable sized allocations as resources
     /// become available on different clusters", §6).
     pub fn execute_run_on(&mut self, machine: MachineSpec, hours: u64) -> RunReport {
+        self.execute_run_controlled_on(machine, hours, &RunControl::disabled())
+    }
+
+    /// The serialized checkpoint carried from the last run boundary (or
+    /// pause point), for durable storage across process boundaries. `None`
+    /// until a run has completed or paused.
+    pub fn checkpoint_text(&self) -> Option<String> {
+        self.ckpt.as_ref().map(|c| c.to_text())
+    }
+
+    /// Installs a checkpoint (e.g. parsed back via
+    /// [`WmCheckpoint::from_text`]) so the next run restores from it —
+    /// the cold-restart path a service takes after losing its in-memory
+    /// campaign. In-memory trajectory progress (the sims map) does not
+    /// survive such a restart; ready-queue membership and WM statistics
+    /// do, exactly as with the paper's on-disk checkpoint files.
+    pub fn restore_checkpoint(&mut self, ckpt: WmCheckpoint) {
+        self.ckpt = Some(ckpt);
+    }
+
+    /// [`Campaign::execute_run_on`] with a cooperative [`RunControl`]:
+    /// the handle can pause the run at the next whole virtual hour (the
+    /// pause-point rule — see `control`'s module docs) and observe
+    /// progress while the run executes on another thread. A paused run
+    /// closes exactly like an end-of-allocation boundary: partial
+    /// trajectories credited, interrupted sims requeued into the
+    /// checkpoint, ledger reconciled — so resuming is the existing
+    /// restart-chain path with a shorter first leg. With a disabled (or
+    /// idle) handle this is value- and byte-identical to the batch path.
+    pub fn execute_run_controlled_on(
+        &mut self,
+        machine: MachineSpec,
+        hours: u64,
+        control: &RunControl,
+    ) -> RunReport {
         self.run_idx += 1;
         let run_seeds = self.seeds.fork_indexed("run", self.run_idx);
         let mut rng = StdRng::seed_from_u64(run_seeds.seed_for("driver"));
@@ -494,12 +597,18 @@ impl Campaign {
         engine.set_tracer(self.tracer.clone());
 
         let cg_target = (total_gpus as f64 * self.cfg.cg_fraction) as u64;
-        let divisor = self.cfg.ready_buffer_divisor.max(1);
-        let cap = self.cfg.ready_buffer_cap.max(8);
+        // Validated at construction/submission: divisor >= 1, cap >= 8.
+        let divisor = self.cfg.ready_buffer_divisor;
+        let cap = self.cfg.ready_buffer_cap;
+        // `cg_target` can exceed `total_gpus` when `cg_fraction > 1`
+        // (e.g. an operator writing 70 for 70%): the AA partition then
+        // gets nothing, it must not underflow into a multi-exabyte
+        // ready-buffer request.
+        let aa_gpus = total_gpus.saturating_sub(cg_target);
         let wm_cfg = WmConfig {
             cg_gpu_fraction: self.cfg.cg_fraction,
             cg_ready_buffer: ((cg_target / divisor) as usize).clamp(8, cap),
-            aa_ready_buffer: (((total_gpus - cg_target) / divisor) as usize).clamp(4, cap / 2),
+            aa_ready_buffer: ((aa_gpus / divisor) as usize).clamp(4, cap / 2),
             poll_interval: self.cfg.poll_interval,
             feedback_interval: SimDuration::from_mins(10),
             profile_interval: SimDuration::from_mins(10),
@@ -655,6 +764,10 @@ impl Campaign {
         let mut run_cg_tl = Timeline::new();
         let mut run_aa_tl = Timeline::new();
         let end = SimTime::from_hours(hours);
+        // The effective end of this run: `end` unless a cooperative pause
+        // pulls it in to an earlier whole-hour boundary. Monotone
+        // non-increasing — once a pause point is adopted it never moves.
+        let mut run_end = end;
         let mut t = SimTime::ZERO;
         let mut prev_t = SimTime::ZERO;
         let mut next_snapshot = SimTime::ZERO;
@@ -681,10 +794,21 @@ impl Campaign {
         // allocation serves the whole run.
         let mut point_buf: Vec<dynim::HdPoint> = Vec::new();
         let mut wm_events: Vec<WmEvent> = Vec::new();
-        while t <= end {
+        while t <= run_end {
             driver_iterations += 1;
             self.tracer.set_now(t);
             store.set_now(t);
+
+            // Cooperative pause point: adopt a requested/scheduled pause
+            // target (always a whole-hour boundary at or after `t`) as the
+            // run's new end. The current pass still executes in full, so
+            // the run closes with a final pass exactly at the boundary,
+            // mirroring the normal end-of-allocation close.
+            if let Some(target) = control.pause_target(t) {
+                if target < run_end {
+                    run_end = target;
+                }
+            }
 
             // Barrier flavor. Between wakeups the domain partitions are
             // causally independent, so a heavy barrier (snapshot due, or
@@ -1027,7 +1151,7 @@ impl Campaign {
                             JobSpec::new(
                                 JobClass::Continuum,
                                 JobShape::continuum(cont_nodes),
-                                end.since(t),
+                                run_end.since(t),
                             ),
                             t,
                         );
@@ -1089,11 +1213,12 @@ impl Campaign {
                     load_time = Some(t);
                 }
             }
+            control.publish(t, placed, completed);
             prev_t = t;
             match self.cfg.mode {
                 DriveMode::Ticked => t += self.cfg.poll_interval,
                 DriveMode::EventDriven => {
-                    if t >= end {
+                    if t >= run_end {
                         break;
                     }
                     // Next-event time advance: jump straight to the safe
@@ -1112,7 +1237,7 @@ impl Campaign {
                         plan_q.peek_time(),
                         wm.next_wakeup(t),
                     );
-                    let (next_t, forced) = driver::advance_clock(t, horizon.at, end);
+                    let (next_t, forced) = driver::advance_clock(t, horizon.at, run_end);
                     if forced {
                         forced_advances += 1;
                         debug_assert!(
@@ -1127,14 +1252,22 @@ impl Campaign {
             }
         }
 
-        // Run over: credit partial trajectories to interrupted sims and
-        // queue them for the next allocation (restart from checkpoints).
+        // Run over (or paused — the close-out is identical): credit
+        // partial trajectories to interrupted sims and queue them for the
+        // next allocation (restart from checkpoints).
+        let paused_at = if run_end < end { Some(run_end) } else { None };
+        let executed_hours = run_end.as_micros() / 3_600_000_000;
+        debug_assert_eq!(
+            executed_hours * 3_600_000_000,
+            run_end.as_micros(),
+            "run ends and pause points are whole-hour aligned"
+        );
         let mut ckpt = wm.checkpoint();
         {
             let mut sims = self.sims.lock();
             for (id, rec) in sims.iter_mut() {
                 if let Some(started) = rec.started_at.take() {
-                    let days = end.since(started).as_hours_f64() / 24.0;
+                    let days = run_end.since(started).as_hours_f64() / 24.0;
                     rec.achieved = (rec.achieved + rec.rate_per_day * days).min(rec.target);
                     if rec.achieved < rec.target {
                         if id.starts_with("cg-") {
@@ -1157,7 +1290,7 @@ impl Campaign {
         run_cg_tl.merge(wm.cg_timeline());
         run_aa_tl.merge(wm.aa_timeline());
         self.profiler.merge(&run_profiler);
-        self.hours_done += hours as f64;
+        self.hours_done += executed_hours as f64;
 
         // Close the books on the final incarnation and reconcile.
         {
@@ -1197,8 +1330,8 @@ impl Campaign {
         let wm_stats = wm.stats();
         let report = RunReport {
             nodes,
-            hours,
-            node_hours: nodes as u64 * hours,
+            hours: executed_hours,
+            node_hours: nodes as u64 * executed_hours,
             placed,
             sims_completed: completed,
             gpu_mean_occupancy: gpu_mean,
@@ -1217,9 +1350,18 @@ impl Campaign {
             ledger,
             driver_iterations,
             forced_advances,
+            paused_at,
         };
+        if let Some(p) = paused_at {
+            self.tracer.instant_at(
+                p,
+                "campaign",
+                "run.paused",
+                &[("run", self.run_idx.into()), ("requested", hours.into())],
+            );
+        }
         self.tracer.instant_at(
-            end,
+            run_end,
             "campaign",
             "run.end",
             &[
@@ -1339,6 +1481,76 @@ mod tests {
         assert_eq!(c.reports().len(), 3);
         let total: u64 = rows.iter().map(|r| r.3).sum();
         assert_eq!(total, 120);
+    }
+
+    /// Regression: an over-unity CG fraction (the "70 instead of 0.70"
+    /// operator typo) makes `cg_target` exceed the machine's GPU count;
+    /// the AA ready-buffer sizing used to underflow in `u64` — a panic in
+    /// debug, a multi-exabyte buffer request in release. It must saturate
+    /// to the floor instead and the run must still execute.
+    #[test]
+    fn overfull_cg_fraction_saturates_aa_buffer() {
+        let cfg = CampaignConfig {
+            cg_fraction: 70.0,
+            patches_per_snapshot: 4,
+            policy: MatchPolicy::FirstMatch,
+            coupling: Coupling::Asynchronous,
+            ..CampaignConfig::default()
+        };
+        let mut c = Campaign::new(cfg);
+        let r = c.execute_run(5, 6);
+        assert!(r.placed > 0, "the CG-only machine still places jobs");
+        assert!(r.ledger.check().is_empty(), "{:?}", r.ledger.check());
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(CampaignConfig::default().validate(), Ok(()));
+        assert_eq!(CampaignConfig::scale_rung(72).validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_divisor_is_a_typed_error_not_a_silent_rewrite() {
+        let cfg = CampaignConfig {
+            ready_buffer_divisor: 0,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroReadyBufferDivisor));
+        assert_eq!(
+            cfg.validate().unwrap_err().to_string(),
+            "ready_buffer_divisor must be >= 1 (got 0)"
+        );
+    }
+
+    #[test]
+    fn tiny_cap_is_a_typed_error_not_a_silent_rewrite() {
+        let cfg = CampaignConfig {
+            ready_buffer_cap: 0,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ReadyBufferCapTooSmall { cap: 0 })
+        );
+        let cfg = CampaignConfig {
+            ready_buffer_cap: 7,
+            ..CampaignConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = CampaignConfig {
+            ready_buffer_cap: 8,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign config")]
+    fn campaign_new_rejects_invalid_configs_loudly() {
+        let _ = Campaign::new(CampaignConfig {
+            ready_buffer_divisor: 0,
+            ..CampaignConfig::default()
+        });
     }
 }
 

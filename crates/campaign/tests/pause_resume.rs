@@ -1,0 +1,214 @@
+//! Cooperative pause → checkpoint → resume at campaign level: the
+//! embeddable-run contract the farm service builds on.
+//!
+//! Three contracts:
+//!
+//! 1. **Byte-identity of the idle control path**: running with an enabled
+//!    but untouched [`RunControl`] must serialize the exact same JSONL
+//!    trace as the batch path — the control hooks may not perturb the
+//!    replay.
+//! 2. **Pause-point rule**: pauses land on whole virtual hours, the
+//!    paused leg closes like an end-of-allocation boundary (partial
+//!    credit, requeue, reconciled ledger), and executed-hours accounting
+//!    is exact.
+//! 3. **Resume equivalence**: pause-then-resume is the restart chain with
+//!    a shorter first leg, so the stitched outcome must match the
+//!    uninterrupted run within the same declared tolerances the
+//!    crash–restore test uses (the restored WM replays the same seeds
+//!    here, but cross-leg WM reseeding makes the series statistically,
+//!    not bitwise, equivalent).
+
+use campaign::{Campaign, CampaignConfig, RunControl};
+use mummi_core::WmCheckpoint;
+use resources::{MachineSpec, MatchPolicy};
+use sched::Coupling;
+use simcore::SimTime;
+use trace::Tracer;
+
+/// The chaos suite's small-but-busy configuration: short CG targets so
+/// sims turn over inside a 12 h leg, attrition and job failures off so
+/// the only divergence source is the pause itself.
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        patches_per_snapshot: 6,
+        frames_per_sim_per_min: 0.05,
+        cg_target_us: 0.2,
+        aa_target_ns: (5.0, 8.0),
+        queue_cap: 500,
+        policy: MatchPolicy::FirstMatch,
+        coupling: Coupling::Asynchronous,
+        submit_rate_per_min: 600,
+        job_timeout_grace: 1.5,
+        node_failures_per_day: 0.0,
+        job_failure_prob: 0.0,
+        seed: 20201214,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn idle_control_handle_is_byte_identical_to_batch() {
+    let batch = {
+        let mut c = Campaign::new(cfg());
+        c.set_tracer(Tracer::enabled());
+        c.execute_run(20, 6);
+        c.tracer().to_jsonl()
+    };
+    let controlled = {
+        let mut c = Campaign::new(cfg());
+        c.set_tracer(Tracer::enabled());
+        let control = RunControl::new();
+        c.execute_run_controlled_on(MachineSpec::summit_allocation(20), 6, &control);
+        c.tracer().to_jsonl()
+    };
+    assert!(!batch.is_empty());
+    assert_eq!(
+        batch, controlled,
+        "an idle control handle must not change a byte of the trace"
+    );
+}
+
+#[test]
+fn scheduled_pause_stops_on_the_hour_with_exact_accounting() {
+    let mut c = Campaign::new(cfg());
+    let control = RunControl::new();
+    // Scheduled mid-hour: the pause-point rule rounds up to hour 6.
+    control.schedule_pause_at(SimTime::from_mins(5 * 60 + 30));
+    let r = c.execute_run_controlled_on(MachineSpec::summit_allocation(20), 12, &control);
+    assert_eq!(r.paused_at, Some(SimTime::from_hours(6)));
+    assert_eq!(r.hours, 6, "executed hours reflect the pause, not the ask");
+    assert_eq!(r.node_hours, 120);
+    assert!(r.placed > 0, "the leg ran before pausing");
+    let violations = r.ledger.check();
+    assert!(violations.is_empty(), "paused-leg books: {violations:?}");
+    assert!(
+        c.checkpoint_text().is_some(),
+        "a paused leg leaves a checkpoint behind"
+    );
+}
+
+#[test]
+fn pause_then_resume_matches_uninterrupted_run_within_tolerances() {
+    let uninterrupted = {
+        let mut c = Campaign::new(cfg());
+        let r = c.execute_run(20, 12);
+        let cg_sum: f64 = c.cg_lengths().iter().sum();
+        (r, cg_sum)
+    };
+    let stitched = {
+        let mut c = Campaign::new(cfg());
+        let control = RunControl::new();
+        control.schedule_pause_at(SimTime::from_hours(6));
+        let r1 = c.execute_run_controlled_on(MachineSpec::summit_allocation(20), 12, &control);
+        assert_eq!(r1.paused_at, Some(SimTime::from_hours(6)));
+        control.clear_pause();
+        let r2 = c.execute_run_controlled_on(MachineSpec::summit_allocation(20), 6, &control);
+        assert_eq!(r2.paused_at, None);
+        assert_eq!(r1.hours + r2.hours, 12, "the two legs cover the ask");
+        for (leg, r) in [(1, &r1), (2, &r2)] {
+            let v = r.ledger.check();
+            assert!(v.is_empty(), "leg {leg} books do not balance: {v:?}");
+        }
+        let cg_sum: f64 = c.cg_lengths().iter().sum();
+        (r1, r2, cg_sum)
+    };
+
+    // The declared crash–restore tolerances (see campaign/tests/chaos.rs):
+    // the resumed leg reseeds its WM like any restart-chain leg, so the
+    // series are statistically equivalent, not bitwise.
+    let (base, base_cg) = uninterrupted;
+    let (r1, r2, stitched_cg) = stitched;
+    let rel = |a: f64, b: f64| (a - b).abs() / a.max(1e-9);
+    let stitched_completed = r1.sims_completed + r2.sims_completed;
+    assert!(
+        rel(base.sims_completed as f64, stitched_completed as f64) < 0.25,
+        "sims completed diverged: {} vs {}",
+        base.sims_completed,
+        stitched_completed
+    );
+    // Executed-hours-weighted mean occupancy across the two legs.
+    let stitched_occ =
+        (r1.gpu_mean_occupancy * r1.hours as f64 + r2.gpu_mean_occupancy * r2.hours as f64) / 12.0;
+    assert!(
+        (base.gpu_mean_occupancy - stitched_occ).abs() < 10.0,
+        "mean GPU occupancy diverged: {:.1} vs {:.1}",
+        base.gpu_mean_occupancy,
+        stitched_occ
+    );
+    assert!(
+        rel(base_cg, stitched_cg) < 0.25,
+        "accumulated CG trajectory diverged: {base_cg:.2} vs {stitched_cg:.2}"
+    );
+}
+
+#[test]
+fn resume_at_a_different_scale_rung_continues_the_campaign() {
+    // The paper's "seamless restart across scales", as an online pause →
+    // rescale → resume: pause a 20-node leg at hour 4, resume the
+    // remainder on 32 nodes.
+    let mut c = Campaign::new(cfg());
+    let control = RunControl::new();
+    control.schedule_pause_at(SimTime::from_hours(4));
+    let r1 = c.execute_run_controlled_on(MachineSpec::summit_allocation(20), 12, &control);
+    assert_eq!(r1.paused_at, Some(SimTime::from_hours(4)));
+    let done_before: f64 = c.cg_lengths().iter().sum();
+    control.clear_pause();
+    let r2 = c.execute_run_controlled_on(MachineSpec::summit_allocation(32), 8, &control);
+    assert_eq!(r2.paused_at, None);
+    assert_eq!(r2.nodes, 32);
+    assert!(
+        r2.peak_gpu_jobs > r1.peak_gpu_jobs,
+        "the larger rung runs wider: {} vs {}",
+        r2.peak_gpu_jobs,
+        r1.peak_gpu_jobs
+    );
+    let done_after: f64 = c.cg_lengths().iter().sum();
+    assert!(
+        done_after > done_before,
+        "trajectory keeps accumulating across the rescale: {done_before} -> {done_after}"
+    );
+    for r in [&r1, &r2] {
+        let v = r.ledger.check();
+        assert!(v.is_empty(), "books do not balance: {v:?}");
+    }
+}
+
+#[test]
+fn immediate_pause_request_executes_zero_hours() {
+    let mut c = Campaign::new(cfg());
+    let control = RunControl::new();
+    control.request_pause(); // lands before the first driver pass
+    let r = c.execute_run_controlled_on(MachineSpec::summit_allocation(10), 6, &control);
+    assert_eq!(r.paused_at, Some(SimTime::ZERO));
+    assert_eq!(r.hours, 0);
+    assert_eq!(r.node_hours, 0);
+    let v = r.ledger.check();
+    assert!(v.is_empty(), "even a zero-hour leg reconciles: {v:?}");
+    // And the campaign is still resumable.
+    control.clear_pause();
+    let r2 = c.execute_run_controlled_on(MachineSpec::summit_allocation(10), 6, &control);
+    assert_eq!(r2.paused_at, None);
+    assert!(r2.placed > 0);
+}
+
+#[test]
+fn checkpoint_text_survives_a_cold_restart() {
+    // The durable-checkpoint path a service takes after losing its
+    // process: serialize at the pause point, rebuild the campaign from
+    // config, restore from text, run the remainder.
+    let mut warm = Campaign::new(cfg());
+    let control = RunControl::new();
+    control.schedule_pause_at(SimTime::from_hours(6));
+    let r1 = warm.execute_run_controlled_on(MachineSpec::summit_allocation(20), 12, &control);
+    assert_eq!(r1.paused_at, Some(SimTime::from_hours(6)));
+    let text = warm.checkpoint_text().expect("paused leg checkpoints");
+
+    let ckpt = WmCheckpoint::from_text(&text).expect("checkpoint text round-trips");
+    let mut cold = Campaign::new(cfg());
+    cold.restore_checkpoint(ckpt);
+    let r2 = cold.execute_run(20, 6);
+    assert_eq!(r2.paused_at, None);
+    assert!(r2.placed > 0, "the restored campaign keeps scheduling");
+    let v = r2.ledger.check();
+    assert!(v.is_empty(), "cold-restart leg books: {v:?}");
+}

@@ -27,8 +27,15 @@
 //! | [`FaultKind::WmCrash`]    | workflow-manager crash → restore from     |
 //! |                           | checkpoint                                |
 
+//!
+//! Service-level chaos adds a fifth mode: [`WorkerKillPlan`] schedules
+//! worker-thread deaths in the campaign farm on its logical progress
+//! clock (completed legs), exercising checkpoint recovery across workers.
+
 mod invariants;
+mod kill;
 mod plan;
 
 pub use invariants::{MonotonicWatch, RunLedger};
+pub use kill::{WorkerKill, WorkerKillPlan};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanError, PlanShape};

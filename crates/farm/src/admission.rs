@@ -1,0 +1,113 @@
+//! Fair-share admission: which queued campaign runs next.
+//!
+//! The farm schedules at *leg* granularity — a worker picks one
+//! allocation leg, runs it, and rejoins the pool — so fairness is a
+//! per-pick decision, not a partition of the pool. The pick is a pure
+//! function of observable accounting, in strict priority order:
+//!
+//! 1. fewest legs currently running for the tenant (don't let one tenant
+//!    occupy the pool),
+//! 2. fewest node-hours consumed by the tenant so far (long-run fair
+//!    share),
+//! 3. earliest submission sequence number (FIFO within a tenant, and a
+//!    deterministic tiebreak across tenants).
+//!
+//! Keeping it pure keeps it testable: the concurrency in the farm is all
+//! in *when* picks happen, never in *what* a pick returns for a given
+//! queue state.
+
+/// One queued, runnable campaign as the picker sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Campaign id (the pick's return value).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Farm-wide submission sequence number.
+    pub seq: u64,
+}
+
+/// Per-tenant accounting consulted by the pick.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantLoad {
+    /// Legs currently executing on workers.
+    pub running: u64,
+    /// Node-hours consumed by completed legs.
+    pub node_hours: u64,
+}
+
+/// Picks the next campaign to run, or `None` if nothing is runnable.
+///
+/// `load(tenant)` reports the tenant's current accounting; tenants with
+/// no history read as zero (new tenants are the most favored, which is
+/// what lets a late-arriving tenant break into a busy farm).
+pub fn pick<'a>(
+    candidates: impl IntoIterator<Item = &'a Candidate>,
+    load: impl Fn(&str) -> TenantLoad,
+) -> Option<u64> {
+    candidates
+        .into_iter()
+        .min_by_key(|c| {
+            let l = load(&c.tenant);
+            (l.running, l.node_hours, c.seq)
+        })
+        .map(|c| c.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cand(id: u64, tenant: &str, seq: u64) -> Candidate {
+        Candidate {
+            id,
+            tenant: tenant.to_string(),
+            seq,
+        }
+    }
+
+    fn loads(entries: &[(&str, u64, u64)]) -> BTreeMap<String, TenantLoad> {
+        entries
+            .iter()
+            .map(|(t, running, node_hours)| {
+                (
+                    t.to_string(),
+                    TenantLoad {
+                        running: *running,
+                        node_hours: *node_hours,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idle_tenant_beats_busy_tenant_regardless_of_arrival() {
+        let cands = [cand(1, "hog", 1), cand(2, "hog", 2), cand(3, "newcomer", 9)];
+        let l = loads(&[("hog", 3, 600)]);
+        let pick = pick(&cands, |t| l.get(t).copied().unwrap_or_default());
+        assert_eq!(pick, Some(3), "the unloaded tenant goes first");
+    }
+
+    #[test]
+    fn equal_running_falls_back_to_consumed_node_hours() {
+        let cands = [cand(1, "heavy", 1), cand(2, "light", 5)];
+        let l = loads(&[("heavy", 1, 500), ("light", 1, 20)]);
+        assert_eq!(
+            pick(&cands, |t| l.get(t).copied().unwrap_or_default()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn full_tie_is_fifo_by_submission_seq() {
+        let cands = [cand(7, "a", 3), cand(8, "b", 1), cand(9, "a", 2)];
+        assert_eq!(pick(&cands, |_| TenantLoad::default()), Some(8));
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        assert_eq!(pick(&[], |_| TenantLoad::default()), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Standalone farm daemon: binds the JSON-lines wire API and serves
+//! campaign submissions until a wire `shutdown` drains the pool.
+//!
+//! ```text
+//! farmd [--addr <host:port>] [--workers <n>]
+//!       [--kill-seed <s> --kills <n> --expected-legs <n>]
+//! ```
+//!
+//! The kill flags arm the chaos harness: a seeded [`WorkerKillPlan`]
+//! that takes workers down at logical leg counts, exercising
+//! checkpoint recovery on a live service. Omit them for a quiet farm.
+
+use std::thread;
+use std::time::Duration;
+
+use chaos::WorkerKillPlan;
+use farm::{Farm, FarmServer};
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut workers = 4usize;
+    let mut kill_seed: Option<u64> = None;
+    let mut kills = 2usize;
+    let mut expected_legs = 16u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| panic!("flag needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = take(),
+            "--workers" => workers = take().parse().expect("--workers"),
+            "--kill-seed" => kill_seed = Some(take().parse().expect("--kill-seed")),
+            "--kills" => kills = take().parse().expect("--kills"),
+            "--expected-legs" => expected_legs = take().parse().expect("--expected-legs"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let plan = match kill_seed {
+        Some(seed) => WorkerKillPlan::generate(seed, workers, expected_legs, kills),
+        None => WorkerKillPlan::empty(),
+    };
+    let chaos = plan.kills.len();
+    let farm = Farm::new(workers, plan);
+    let server = FarmServer::start(farm.clone(), &addr).expect("bind");
+    eprintln!(
+        "farmd: serving {} with {workers} workers, {chaos} scheduled kills",
+        server.addr()
+    );
+    while !farm.is_shutdown() {
+        thread::sleep(Duration::from_millis(200));
+    }
+    server.stop();
+    eprintln!("farmd: drained, bye");
+}

@@ -1,0 +1,130 @@
+//! Submission-queue concurrency tests — the tsan target in CI.
+//!
+//! Many tenants submit simultaneously while other threads hammer the
+//! read-side ops; everything must drain without losing a campaign,
+//! double-counting a leg, or tripping the sanitizer. Campaigns are kept
+//! tiny so the whole file stays fast under tsan's ~10x slowdown.
+
+use std::thread;
+
+use campaign::CampaignConfig;
+use chaos::WorkerKillPlan;
+use farm::{Farm, SubmitSpec};
+use resources::MatchPolicy;
+use sched::Coupling;
+
+fn tiny_cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        patches_per_snapshot: 4,
+        frames_per_sim_per_min: 0.05,
+        cg_target_us: 0.2,
+        aa_target_ns: (5.0, 8.0),
+        queue_cap: 200,
+        policy: MatchPolicy::FirstMatch,
+        coupling: Coupling::Asynchronous,
+        submit_rate_per_min: 600,
+        node_failures_per_day: 0.0,
+        job_failure_prob: 0.0,
+        seed,
+        ..CampaignConfig::default()
+    }
+}
+
+fn spec(tenant: &str, seed: u64) -> SubmitSpec {
+    SubmitSpec {
+        tenant: tenant.to_string(),
+        cfg: tiny_cfg(seed),
+        schedule: vec![(5, 2)],
+        trace: false,
+        pause_at_hours: None,
+    }
+}
+
+#[test]
+fn concurrent_submissions_all_complete_exactly_once() {
+    let farm = Farm::new(4, WorkerKillPlan::empty());
+    let tenants = ["alpha", "beta", "gamma", "delta"];
+    let per_tenant = 3;
+
+    let ids: Vec<u64> = thread::scope(|s| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|tenant| {
+                let farm = farm.clone();
+                s.spawn(move || {
+                    (0..per_tenant)
+                        .map(|i| farm.submit(spec(tenant, 100 + i)).expect("submit"))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        // A reader thread races the submitters on the snapshot ops.
+        let reader_farm = farm.clone();
+        let reader = s.spawn(move || {
+            let mut most = 0;
+            while most < tenants.len() * per_tenant as usize {
+                most = most.max(reader_farm.list().len());
+                reader_farm.stats();
+                thread::yield_now();
+            }
+        });
+        let ids = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        reader.join().unwrap();
+        ids
+    });
+
+    assert_eq!(ids.len(), tenants.len() * per_tenant as usize);
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "ids are unique");
+
+    for id in &ids {
+        let s = farm.wait_until(*id, |s| s.terminal()).expect("completion");
+        assert_eq!(s.legs_done, 1);
+        assert!(s.ledger_ok);
+    }
+    let stats = farm.stats();
+    assert_eq!(stats.submitted, ids.len() as u64);
+    assert_eq!(stats.completed, ids.len() as u64);
+    assert_eq!(stats.legs_completed, ids.len() as u64);
+    farm.shutdown();
+}
+
+#[test]
+fn pause_and_resume_race_safely_with_the_queue() {
+    let farm = Farm::new(2, WorkerKillPlan::empty());
+    // Pause a queued campaign before any worker picks it up, then race
+    // more submissions against the resume.
+    let held = farm.submit(spec("held", 1)).expect("submit");
+    farm.pause(held).expect("pause while queued");
+    let others: Vec<u64> = (0..4)
+        .map(|i| farm.submit(spec("busy", 10 + i)).expect("submit"))
+        .collect();
+    for id in &others {
+        farm.wait_until(*id, |s| s.terminal()).expect("completion");
+    }
+    // The held campaign must not have started.
+    let s = farm.status(held).expect("status");
+    assert_eq!(s.legs_done, 0, "a paused campaign never runs");
+    farm.resume(held, None).expect("resume");
+    let s = farm.wait_until(held, |s| s.terminal()).expect("completion");
+    assert_eq!(s.legs_done, 1);
+    assert!(s.ledger_ok);
+    farm.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_drains_cleanly() {
+    let farm = Farm::new(2, WorkerKillPlan::empty());
+    for i in 0..3 {
+        farm.submit(spec("t", i)).expect("submit");
+    }
+    farm.shutdown();
+    farm.shutdown(); // second call is a no-op
+    assert!(farm.is_shutdown());
+    assert_eq!(farm.stats().workers_alive, 0, "all workers joined");
+}

@@ -1,0 +1,276 @@
+//! Wire-level service tests: the farm's external contract.
+//!
+//! The load-bearing one is byte-identity — a campaign submitted over TCP
+//! must produce the exact trace the batch binary would, pinning the
+//! determinism boundary at the service edge. The rest covers the
+//! operational surface: pause/resume over the wire within the declared
+//! crash–restore tolerances, mid-flight rescale, chaos worker kills with
+//! conserved ledgers, and strict rejection of invalid submissions.
+
+use campaign::{Campaign, CampaignConfig};
+use chaos::WorkerKillPlan;
+use farm::{EntryState, Farm, FarmClient, FarmServer, SubmitSpec};
+use resources::MatchPolicy;
+use sched::Coupling;
+use trace::{Json, Tracer};
+
+/// The chaos suite's small-but-busy configuration (attrition off, short
+/// CG targets so sims turn over inside a leg).
+fn cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        patches_per_snapshot: 6,
+        frames_per_sim_per_min: 0.05,
+        cg_target_us: 0.2,
+        aa_target_ns: (5.0, 8.0),
+        queue_cap: 500,
+        policy: MatchPolicy::FirstMatch,
+        coupling: Coupling::Asynchronous,
+        submit_rate_per_min: 600,
+        job_timeout_grace: 1.5,
+        node_failures_per_day: 0.0,
+        job_failure_prob: 0.0,
+        seed,
+        ..CampaignConfig::default()
+    }
+}
+
+/// The same configuration as a wire `config` override object.
+fn cfg_wire(seed: u64) -> String {
+    format!(
+        concat!(
+            r#"{{"patches_per_snapshot": 6, "frames_per_sim_per_min": 0.05, "#,
+            r#""cg_target_us": 0.2, "aa_target_ns": [5, 8], "queue_cap": 500, "#,
+            r#""policy": "first_match", "coupling": "async", "#,
+            r#""submit_rate_per_min": 600, "job_timeout_grace": 1.5, "#,
+            r#""node_failures_per_day": 0, "job_failure_prob": 0, "seed": {}}}"#
+        ),
+        seed
+    )
+}
+
+fn start_server(workers: usize, plan: WorkerKillPlan) -> (Farm, FarmServer, FarmClient) {
+    let farm = Farm::new(workers, plan);
+    let server = FarmServer::start(farm.clone(), "127.0.0.1:0").expect("bind");
+    let client = FarmClient::connect(server.addr()).expect("connect");
+    (farm, server, client)
+}
+
+#[test]
+fn farm_run_is_byte_identical_to_batch() {
+    let batch = {
+        let mut c = Campaign::new(cfg(4242));
+        c.set_tracer(Tracer::enabled());
+        c.execute_run(10, 4);
+        c.execute_run(10, 2);
+        c.tracer().to_jsonl()
+    };
+    let (_farm, server, mut client) = start_server(2, WorkerKillPlan::empty());
+    let id = client
+        .submit_line(&format!(
+            r#"{{"op": "submit", "tenant": "alice", "trace": true, "schedule": [[10, 4], [10, 2]], "config": {}}}"#,
+            cfg_wire(4242)
+        ))
+        .expect("submit");
+    client.wait_done(id).expect("stream to completion");
+    let farm_trace = client.trace(id).expect("trace");
+    assert!(!batch.is_empty());
+    assert_eq!(
+        farm_trace, batch,
+        "a farm-run campaign must trace byte-identically to the batch path"
+    );
+    server.stop();
+}
+
+#[test]
+fn wire_resume_equivalence_stays_within_declared_tolerances() {
+    // The uninterrupted baseline, in-process.
+    let base = {
+        let mut c = Campaign::new(cfg(20201214));
+        c.execute_run(20, 12)
+    };
+
+    // Over the wire: same campaign with a scheduled drain window at hour
+    // 6, then a resume. The stitched outcome must stay inside the
+    // crash–restore tolerances (campaign/tests/chaos.rs): the resumed
+    // leg reseeds its WM like any restart-chain leg.
+    let (_farm, server, mut client) = start_server(2, WorkerKillPlan::empty());
+    let id = client
+        .submit_line(&format!(
+            r#"{{"op": "submit", "tenant": "alice", "schedule": [[20, 12]], "pause_at_hours": 6, "config": {}}}"#,
+            cfg_wire(20201214)
+        ))
+        .expect("submit");
+    let paused = client.wait_event(id, "paused").expect("pause fires");
+    assert_eq!(paused.get("at_hours").and_then(Json::as_f64), Some(6.0));
+    let status = client.status(id).expect("status");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("paused"));
+    let remaining = status.get("remaining").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        remaining[0].as_arr().and_then(|r| r[1].as_f64()),
+        Some(6.0),
+        "6 of the 12 hours remain after the drain window"
+    );
+    client.resume(id, None).expect("resume");
+    client.wait_done(id).expect("completion");
+
+    let done = client.status(id).expect("status");
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("completed"));
+    assert_eq!(done.get("ledger_ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        done.get("node_hours").and_then(Json::as_f64),
+        Some(240.0),
+        "20 nodes x 12 executed hours, exactly"
+    );
+    let stitched = done.get("sims_completed").and_then(Json::as_f64).unwrap();
+    let rel =
+        (base.sims_completed as f64 - stitched).abs() / (base.sims_completed as f64).max(1e-9);
+    assert!(
+        rel < 0.25,
+        "sims completed diverged: {} vs {stitched}",
+        base.sims_completed
+    );
+    server.stop();
+}
+
+#[test]
+fn wire_resume_at_a_different_rung_rescales_the_remainder() {
+    let (_farm, server, mut client) = start_server(1, WorkerKillPlan::empty());
+    let id = client
+        .submit_line(&format!(
+            r#"{{"op": "submit", "tenant": "bob", "schedule": [[20, 8]], "pause_at_hours": 4, "config": {}}}"#,
+            cfg_wire(77)
+        ))
+        .expect("submit");
+    client.wait_event(id, "paused").expect("pause fires");
+    client.resume(id, Some(32)).expect("resume at 32 nodes");
+    client.wait_done(id).expect("completion");
+    let done = client.status(id).expect("status");
+    assert_eq!(
+        done.get("node_hours").and_then(Json::as_f64),
+        Some((20 * 4 + 32 * 4) as f64),
+        "4 hours at the old width, 4 at the new"
+    );
+    assert_eq!(done.get("ledger_ok"), Some(&Json::Bool(true)));
+    server.stop();
+}
+
+#[test]
+fn worker_kills_recover_from_checkpoints_with_conserved_ledgers() {
+    // Phase 1: a seeded kill plan against three two-leg campaigns on
+    // three workers. Every campaign must still complete everything it
+    // promised, with every kept leg's ledger reconciled.
+    let plan = WorkerKillPlan::generate(7, 3, 6, 2);
+    assert_eq!(plan.kills.len(), 2);
+    let farm = Farm::new(3, plan);
+    let mut ids = Vec::new();
+    for (tenant, seed) in [("a", 1u64), ("b", 2), ("c", 3)] {
+        let id = farm
+            .submit(SubmitSpec {
+                tenant: tenant.to_string(),
+                cfg: cfg(seed),
+                schedule: vec![(10, 4), (10, 4)],
+                trace: false,
+                pause_at_hours: None,
+            })
+            .expect("submit");
+        ids.push(id);
+    }
+    for id in &ids {
+        let s = farm.wait_until(*id, |s| s.terminal()).expect("completion");
+        assert_eq!(s.state, EntryState::Completed);
+        assert_eq!(s.legs_done, 2, "campaign {id} completed its full schedule");
+        assert!(s.remaining.is_empty());
+        assert!(s.ledger_ok, "campaign {id} kept a non-reconciling leg");
+    }
+    let stats = farm.stats();
+    assert_eq!(stats.kills_fired, 2, "the plan fired");
+    assert_eq!(
+        stats.workers_spawned,
+        3 + stats.kills_fired,
+        "every kill spawned a replacement"
+    );
+
+    // Phase 2: a guaranteed mid-leg kill via the admin op — wait until
+    // the campaign is running, kill that exact worker, and require a
+    // checkpoint recovery with conserved books.
+    let id = farm
+        .submit(SubmitSpec {
+            tenant: "d".to_string(),
+            cfg: cfg(9),
+            // A long single leg: the claim wakeup arrives at leg start,
+            // leaving the whole leg to observe the Running state.
+            schedule: vec![(10, 12)],
+            trace: false,
+            pause_at_hours: None,
+        })
+        .expect("submit");
+    let running = farm
+        .wait_until(id, |s| {
+            matches!(s.state, EntryState::Running { .. }) || s.terminal()
+        })
+        .expect("runs");
+    let EntryState::Running { worker } = running.state else {
+        panic!("completed before the Running state could be observed");
+    };
+    farm.kill_worker(worker).expect("kill the running worker");
+    let s = farm.wait_until(id, |s| s.terminal()).expect("completion");
+    assert_eq!(s.recoveries, 1, "the kill forced a checkpoint recovery");
+    assert_eq!(s.legs_done, 1);
+    assert!(s.ledger_ok, "post-recovery books must reconcile");
+    farm.shutdown();
+}
+
+#[test]
+fn service_smoke_and_strict_wire_rejection() {
+    let (farm, server, mut client) = start_server(2, WorkerKillPlan::empty());
+    client.ping().expect("ping");
+
+    // Invalid configs bounce at the wire with the typed message.
+    let e = client
+        .submit_line(r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "config": {"ready_buffer_divisor": 0}}"#)
+        .unwrap_err();
+    assert!(e.contains("ready_buffer_divisor"), "{e}");
+    let e = client
+        .submit_line(r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "config": {"ready_buffer_cap": 7}}"#)
+        .unwrap_err();
+    assert!(e.contains("ready_buffer_cap"), "{e}");
+    // So do typos and unknown ops.
+    let e = client
+        .submit_line(r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "trase": true}"#)
+        .unwrap_err();
+    assert!(e.contains("unknown submit field"), "{e}");
+    assert!(client.call(r#"{"op": "tickle"}"#).is_err());
+
+    // A valid submission runs to completion and shows up everywhere.
+    let id = client
+        .submit_line(&format!(
+            r#"{{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "config": {}}}"#,
+            cfg_wire(5)
+        ))
+        .expect("submit");
+    let events = client.wait_done(id).expect("completion");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("kind").and_then(Json::as_str) == Some("completed")),
+        "stream carries the completion event"
+    );
+    assert_eq!(client.list().expect("list").len(), 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("completed").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("kills_fired").and_then(Json::as_f64), Some(0.0));
+
+    // Wire shutdown drains the farm; later submissions bounce.
+    client.shutdown().expect("shutdown");
+    assert!(farm.is_shutdown());
+    assert!(farm
+        .submit(SubmitSpec {
+            tenant: "late".to_string(),
+            cfg: cfg(1),
+            schedule: vec![(5, 2)],
+            trace: false,
+            pause_at_hours: None,
+        })
+        .is_err());
+    server.stop();
+}

@@ -270,6 +270,11 @@ pub const L6_CRATES: &[&str] = &[
     "chaos",
     "simcore",
     "resources",
+    // The farm's async shell is allowed exactly one shared structure —
+    // the submission queue behind a single Mutex (reasoned inline
+    // allows). Listing the crate here keeps any second one from
+    // appearing silently.
+    "farm",
 ];
 
 const L1_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "Utc::now", "Local::now"];

@@ -1,12 +1,13 @@
-//! A minimal JSON reader for the bench result files.
+//! A minimal JSON value: strict parser plus stable-order serializer.
 //!
-//! The bench binaries hand-write their JSON (stable field order, no
-//! dependency risk), but append-don't-clobber semantics for
-//! `BENCH_scale.json` — and the unit tests pinning both file formats —
-//! need to read results back. This is a small strict recursive-descent
-//! parser over the JSON grammar: objects, arrays, strings (with escape
-//! sequences), f64 numbers, booleans, and null. It exists so the bench
-//! crate does not grow a serde dependency for two files.
+//! Producers across the workspace hand-write their JSON (stable field
+//! order, no dependency risk), but two consumers need to read it back:
+//! the bench crate's append-don't-clobber `BENCH_scale.json` merge, and
+//! the farm's JSON-over-TCP wire protocol. This is a small strict
+//! recursive-descent parser over the JSON grammar: objects, arrays,
+//! strings (with escape sequences), f64 numbers, booleans, and null. It
+//! lives here — the lowest shared layer — so neither consumer grows a
+//! serde dependency or a copy of its own.
 
 use std::collections::BTreeMap;
 

@@ -29,9 +29,11 @@
 
 pub mod derive;
 pub mod event;
+pub mod json;
 pub mod metrics;
 pub mod tracer;
 
 pub use event::{Arg, TraceEvent};
+pub use json::Json;
 pub use metrics::{FixedHistogram, MetricsRegistry, MetricsSnapshot, DEFAULT_BUCKETS};
 pub use tracer::Tracer;

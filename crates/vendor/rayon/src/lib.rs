@@ -30,21 +30,73 @@ use std::sync::OnceLock;
 /// not depend on the value — forked and inline execution are identical.
 const SEQ_CUTOFF_ELEMS: usize = 4096;
 
+/// Hard ceiling on the worker count: an `RAYON_NUM_THREADS` beyond this
+/// is far more likely a typo (extra digit, pasted value) than a real
+/// machine, and scoped-spawn fan-out at that width would thrash anyway.
+pub const MAX_THREADS: usize = 512;
+
+/// Resolves the worker-thread count from an optional `RAYON_NUM_THREADS`
+/// value and the host's available parallelism. Pure so it can be tested
+/// without touching the process environment.
+///
+/// Rules (documented contract, not incidental behavior):
+/// - unset → `available` (clamped to `1..=MAX_THREADS`);
+/// - a positive integer ≤ [`MAX_THREADS`] → that value;
+/// - a positive integer > [`MAX_THREADS`] → clamped to `MAX_THREADS`,
+///   with a warning;
+/// - `0`, empty, or unparseable → fall back to `available`, with a
+///   warning. The old behavior fell back *silently*, which let an
+///   operator typo (`RAYON_NUM_THREADS=fourteen`, or an exported-but-
+///   empty variable) masquerade as a deliberate host-width choice.
+fn resolve_num_threads(var: Option<&str>, available: usize) -> (usize, Option<String>) {
+    let fallback = available.clamp(1, MAX_THREADS);
+    match var {
+        None => (fallback, None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => (
+                fallback,
+                Some(format!(
+                    "rayon: RAYON_NUM_THREADS=0 is not a valid worker count; \
+                     using available parallelism ({fallback})"
+                )),
+            ),
+            Ok(n) if n > MAX_THREADS => (
+                MAX_THREADS,
+                Some(format!(
+                    "rayon: RAYON_NUM_THREADS={n} exceeds the supported maximum; \
+                     clamping to {MAX_THREADS}"
+                )),
+            ),
+            Ok(n) => (n, None),
+            Err(_) => (
+                fallback,
+                Some(format!(
+                    "rayon: RAYON_NUM_THREADS={raw:?} is not an integer; \
+                     using available parallelism ({fallback})"
+                )),
+            ),
+        },
+    }
+}
+
 /// Number of worker threads the executor may use: `RAYON_NUM_THREADS`
-/// when set to a positive integer, otherwise the host's available
-/// parallelism. `1` disables forking entirely.
+/// when set to a positive integer (clamped to [`MAX_THREADS`]), otherwise
+/// the host's available parallelism. `1` disables forking entirely.
+/// An unusable value (`0`, empty, unparseable) falls back to available
+/// parallelism with a once-per-process warning on stderr instead of the
+/// historical silent ignore.
 pub fn current_num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        match std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+        let var = std::env::var("RAYON_NUM_THREADS").ok();
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (n, warning) = resolve_num_threads(var.as_deref(), available);
+        if let Some(w) = warning {
+            eprintln!("{w}");
         }
+        n
     })
 }
 
@@ -470,5 +522,50 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_unset_uses_available_parallelism_silently() {
+        assert_eq!(resolve_num_threads(None, 8), (8, None));
+        assert_eq!(resolve_num_threads(None, 1), (1, None));
+    }
+
+    #[test]
+    fn resolve_valid_values_pass_through() {
+        assert_eq!(resolve_num_threads(Some("1"), 8), (1, None));
+        assert_eq!(resolve_num_threads(Some("4"), 1), (4, None));
+        assert_eq!(
+            resolve_num_threads(Some(" 16 "), 8),
+            (16, None),
+            "surrounding whitespace is tolerated"
+        );
+    }
+
+    #[test]
+    fn resolve_zero_warns_and_falls_back() {
+        let (n, warning) = resolve_num_threads(Some("0"), 6);
+        assert_eq!(n, 6);
+        let w = warning.expect("a zero thread count must warn");
+        assert!(w.contains("RAYON_NUM_THREADS=0"), "{w}");
+    }
+
+    #[test]
+    fn resolve_unparseable_warns_and_falls_back() {
+        for bad in ["fourteen", "", "4.0", "-2", "0x10"] {
+            let (n, warning) = resolve_num_threads(Some(bad), 3);
+            assert_eq!(n, 3, "fallback for {bad:?}");
+            let w = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(w.contains("not an integer"), "{w}");
+        }
+    }
+
+    #[test]
+    fn resolve_clamps_absurd_widths() {
+        let (n, warning) = resolve_num_threads(Some("100000"), 4);
+        assert_eq!(n, MAX_THREADS);
+        assert!(warning.expect("clamping must warn").contains("clamping"));
+        // Pathological hosts clamp too, silently (nothing the operator typed).
+        assert_eq!(resolve_num_threads(None, 100_000), (MAX_THREADS, None));
+        assert_eq!(resolve_num_threads(None, 0), (1, None));
     }
 }
