@@ -63,10 +63,12 @@ fn parse_args() -> Args {
         per_tenant: 3,
         workers: 4,
         kills: 2,
-        // The plan (trigger legs + victims) is seed-deterministic, but
-        // whether a victim holds a running campaign at its trigger
-        // depends on host interleaving, so `recoveries` may vary
-        // between runs even at a fixed seed.
+        // The plan (trigger legs + victims) is seed-deterministic. The
+        // farm aims each kill at a worker with a leg actually in
+        // flight, and which workers are busy at the trigger depends on
+        // host interleaving — so the mid-leg/idle split may vary
+        // between runs, but `recoveries == kills_mid_leg` always holds
+        // once the farm drains (asserted below).
         seed: 5,
         out: "BENCH_farm.json".to_string(),
     };
@@ -168,12 +170,32 @@ fn main() {
         .get("recoveries")
         .and_then(Json::as_f64)
         .unwrap_or(0.0);
+    let kills_mid_leg = stats
+        .get("kills_mid_leg")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let kills_idle = stats
+        .get("kills_idle")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
     let completed = stats.get("completed").and_then(Json::as_f64).unwrap_or(0.0) as usize;
     admin.shutdown().expect("shutdown");
     server.stop();
 
     assert_eq!(completed, campaigns, "every submitted campaign completed");
     assert_eq!(kills_fired, kills_planned, "the kill plan fired in full");
+    assert_eq!(
+        kills_mid_leg + kills_idle,
+        kills_fired as f64,
+        "every fired kill is classified mid-leg or idle"
+    );
+    // The conservation law the bench exists to witness: a kill that
+    // discarded an in-flight leg owes exactly one checkpoint recovery,
+    // and the farm has drained, so the books must balance.
+    assert_eq!(
+        recoveries, kills_mid_leg,
+        "mid-leg kills and recoveries diverged after drain"
+    );
 
     let mut latencies: Vec<f64> = per_tenant_results.into_iter().flatten().collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -191,6 +213,8 @@ fn main() {
             "  \"campaigns\": {},\n",
             "  \"workers\": {},\n",
             "  \"kills_fired\": {},\n",
+            "  \"kills_mid_leg\": {},\n",
+            "  \"kills_idle\": {},\n",
             "  \"recoveries\": {},\n",
             "  \"wall_seconds\": {:.3},\n",
             "  \"campaigns_per_minute\": {:.2},\n",
@@ -205,6 +229,8 @@ fn main() {
         campaigns,
         args.workers,
         kills_fired,
+        kills_mid_leg,
+        kills_idle,
         recoveries,
         wall_seconds,
         per_minute,

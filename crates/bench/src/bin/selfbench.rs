@@ -319,6 +319,17 @@ fn parallel_main(rungs_arg: &str, out: &str, hours: u64) {
         );
         let speedup = serial.wall_seconds / parallel.wall_seconds.max(1e-9);
         eprintln!("  speedup (parallel over serial, {threads} thread(s)): {speedup:.2}x");
+        // On a 1-thread pool the driver takes the serial body outright
+        // (no fork, no staging), so "parallel" must cost no more than
+        // serial modulo noise. A miss means the thread-count gate
+        // regressed and single-core hosts are paying fork overhead.
+        if threads == 1 {
+            assert!(
+                speedup >= 0.98,
+                "1-thread parallel loop ran at {speedup:.2}x serial at rung {label}; \
+                 the current_num_threads gate should make this free"
+            );
+        }
         entries.push(rung_entry(label, nodes, hours, "serial-loop", &serial, ""));
         entries.push(rung_entry(
             label,
@@ -408,6 +419,15 @@ fn table1_main(out: &str) {
     );
     let speedup = serial.wall_seconds / parallel.wall_seconds.max(1e-9);
     eprintln!("  speedup (parallel over serial, {threads} thread(s)): {speedup:.2}x");
+    // Same gate pin as the ladder rungs: 1 thread must mean zero fork
+    // overhead on the headline schedule.
+    if threads == 1 {
+        assert!(
+            speedup >= 0.98,
+            "1-thread parallel loop ran at {speedup:.2}x serial on table1-full; \
+             the current_num_threads gate should make this free"
+        );
+    }
     let extra = format!(", \"node_hours\": {node_hours}");
     let entries = vec![
         rung_entry("table1-full", 4000, 24, "serial-loop", &serial, &extra),

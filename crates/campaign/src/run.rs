@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 
 use cg::CgFrame;
 use chaos::{FaultKind, FaultPlan, MonotonicWatch, RunLedger};
-use datastore::{DataStore, FaultWindow, KvDataStore, ScheduledFaultStore};
+use datastore::{DataStore, FaultWindow, KvDataStore, RemoteDataStore, ScheduledFaultStore};
 use mummi_core::app3;
 use mummi_core::{RuntimeModel, WmCheckpoint, WmConfig, WmEvent, WorkflowManager};
 use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
@@ -36,6 +36,41 @@ pub enum DriveMode {
     /// escape hatch (`--ticked` on the bench binaries) and as the
     /// reference for the equivalence tests.
     Ticked,
+}
+
+/// Which backend the run loop drives its feedback-store traffic
+/// through. A configuration switch, never a semantic one: both backends
+/// speak the same `ns:{key}` mapping and trace vocabulary, and a
+/// campaign traces byte-identical under either (pinned by
+/// `tests/netstore.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// The in-process [`kvstore`] cluster (the historical default).
+    InProcess,
+    /// The networked datastore tier via its deterministic in-process
+    /// loopback transport: every op is encoded as a wire frame, decoded
+    /// and handled by a [`storeserver`] engine — the campaign-side
+    /// rehearsal of the real TCP deployment, with no sockets or threads.
+    Loopback,
+}
+
+impl StoreBackend {
+    /// Stable name for configs and wire forms.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreBackend::InProcess => "in-process",
+            StoreBackend::Loopback => "loopback",
+        }
+    }
+
+    /// Inverse of [`StoreBackend::name`].
+    pub fn parse(s: &str) -> Option<StoreBackend> {
+        match s {
+            "in-process" => Some(StoreBackend::InProcess),
+            "loopback" => Some(StoreBackend::Loopback),
+            _ => None,
+        }
+    }
 }
 
 /// Campaign-level configuration.
@@ -107,6 +142,8 @@ pub struct CampaignConfig {
     /// (asserted by tests and CI), so this toggle is the differential
     /// oracle and a wall-clock baseline, never a semantic switch.
     pub serial_loop: bool,
+    /// Feedback-store backend (see [`StoreBackend`]).
+    pub store_backend: StoreBackend,
     /// Root seed.
     pub seed: u64,
 }
@@ -135,6 +172,7 @@ impl Default for CampaignConfig {
             mode: DriveMode::EventDriven,
             linear_scan: false,
             serial_loop: false,
+            store_backend: StoreBackend::InProcess,
             seed: 20201214,
         }
     }
@@ -217,6 +255,78 @@ impl CampaignConfig {
             ready_buffer_cap: total_gpus as usize,
             ..CampaignConfig::default()
         }
+    }
+}
+
+/// The run loop's feedback store: one of the two [`StoreBackend`]s
+/// behind a single concrete type, so the generic
+/// [`ScheduledFaultStore`] wrapper (and its `inner_mut().set_tracer`
+/// re-staging at parallel barriers) works unchanged for both.
+#[derive(Debug)]
+enum RunStore {
+    Kv(KvDataStore),
+    Remote(RemoteDataStore),
+}
+
+impl RunStore {
+    /// 20 shards either way — the paper's 20 Redis nodes.
+    fn new(backend: StoreBackend) -> RunStore {
+        match backend {
+            StoreBackend::InProcess => RunStore::Kv(KvDataStore::new(20)),
+            StoreBackend::Loopback => RunStore::Remote(RemoteDataStore::loopback(20)),
+        }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        match self {
+            RunStore::Kv(s) => s.set_tracer(tracer),
+            RunStore::Remote(s) => s.set_tracer(tracer),
+        }
+    }
+}
+
+macro_rules! run_store_delegate {
+    ($self:ident, $s:ident => $body:expr) => {
+        match $self {
+            RunStore::Kv($s) => $body,
+            RunStore::Remote($s) => $body,
+        }
+    };
+}
+
+impl DataStore for RunStore {
+    fn kind(&self) -> datastore::BackendKind {
+        run_store_delegate!(self, s => s.kind())
+    }
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> datastore::Result<()> {
+        run_store_delegate!(self, s => s.write(ns, key, data))
+    }
+    fn read(&mut self, ns: &str, key: &str) -> datastore::Result<Vec<u8>> {
+        run_store_delegate!(self, s => s.read(ns, key))
+    }
+    fn exists(&mut self, ns: &str, key: &str) -> bool {
+        run_store_delegate!(self, s => s.exists(ns, key))
+    }
+    fn list(&mut self, ns: &str) -> datastore::Result<Vec<String>> {
+        run_store_delegate!(self, s => s.list(ns))
+    }
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> datastore::Result<()> {
+        run_store_delegate!(self, s => s.move_ns(key, from, to))
+    }
+    fn delete(&mut self, ns: &str, key: &str) -> datastore::Result<bool> {
+        run_store_delegate!(self, s => s.delete(ns, key))
+    }
+    fn flush(&mut self) -> datastore::Result<()> {
+        run_store_delegate!(self, s => s.flush())
+    }
+    fn count(&mut self, ns: &str) -> datastore::Result<usize> {
+        run_store_delegate!(self, s => s.count(ns))
+    }
+    fn read_many(&mut self, ns: &str, keys: &[String]) -> datastore::Result<Vec<Vec<u8>>> {
+        run_store_delegate!(self, s => s.read_many(ns, keys))
+    }
+    fn move_ns_many(&mut self, keys: &[String], from: &str, to: &str) -> datastore::Result<()> {
+        run_store_delegate!(self, s => s.move_ns_many(keys, from, to))
     }
 }
 
@@ -731,7 +841,7 @@ impl Campaign {
                 _ => None,
             })
             .collect();
-        let mut inner_store = KvDataStore::new(20);
+        let mut inner_store = RunStore::new(self.cfg.store_backend);
         inner_store.set_tracer(self.tracer.clone());
         let mut store = ScheduledFaultStore::new(inner_store, windows);
         // Plan events live in a real event queue: ticked mode drains what
@@ -787,6 +897,14 @@ impl Campaign {
             nodes,
         );
 
+        // Forking a barrier only pays when the rayon pool actually has a
+        // second worker. On a 1-thread pool `rayon::join` degrades to
+        // inline calls, so the fork would spend its staging/absorb
+        // plumbing for nothing — measured at 0.92× serial on the full
+        // Table 1 schedule. Hoisted: the pool size is fixed for the
+        // process lifetime.
+        let pool_parallel = rayon::current_num_threads() > 1;
+
         let mut driver_iterations = 0u64;
         let mut forced_advances = 0u64;
         // Per-tick scratch buffers, hoisted out of the loop: candidate
@@ -823,7 +941,8 @@ impl Campaign {
                 + cg_running as f64
                     * self.cfg.frames_per_sim_per_min
                     * t.since(prev_t).as_mins_f64();
-            let fork_barrier = !self.cfg.serial_loop
+            let fork_barrier = pool_parallel
+                && !self.cfg.serial_loop
                 && self.cfg.mode == DriveMode::EventDriven
                 && !crash_due
                 && (next_snapshot <= t || est_frames >= PARALLEL_FRAME_THRESHOLD);

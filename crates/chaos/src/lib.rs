@@ -31,11 +31,17 @@
 //! Service-level chaos adds a fifth mode: [`WorkerKillPlan`] schedules
 //! worker-thread deaths in the campaign farm on its logical progress
 //! clock (completed legs), exercising checkpoint recovery across workers.
+//! With the datastore promoted to a real server, [`StoreChaosPlan`]
+//! points the fault windows at the genuine articles — TCP connections
+//! severed between request and ack, and write-ahead logs with torn
+//! tails — instead of in-process injected store errors.
 
 mod invariants;
 mod kill;
+mod netfault;
 mod plan;
 
 pub use invariants::{MonotonicWatch, RunLedger};
 pub use kill::{WorkerKill, WorkerKillPlan};
+pub use netfault::{StoreChaosPlan, WalTruncation};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanError, PlanShape};

@@ -43,6 +43,7 @@ pub mod codec;
 pub mod faults;
 mod fs;
 mod kv;
+mod remote;
 mod store;
 mod tar;
 mod tiered;
@@ -50,6 +51,7 @@ mod tiered;
 pub use faults::{FailingStore, FaultWindow, Op, ScheduledFaultStore, OP_COUNT};
 pub use fs::FsStore;
 pub use kv::KvDataStore;
+pub use remote::RemoteDataStore;
 pub use store::{BackendKind, DataStore};
 pub use tar::TarStore;
 pub use tiered::TieredStore;

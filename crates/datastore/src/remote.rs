@@ -1,0 +1,274 @@
+//! Datastore backend over the networked [`storeserver`] tier.
+//!
+//! Same `ns/key → ns:{key}` hash-tag mapping as [`crate::KvDataStore`],
+//! same trace vocabulary (`datastore.kv.*` — the counters describe the
+//! *operation mix*, which is transport-independent), different engine:
+//! ops travel as wire frames through a [`storeserver::StoreClient`],
+//! either over TCP to a real server or through the deterministic
+//! in-process loopback transport. Loopback is the campaign path: no
+//! sockets, no threads, no latency model — so a campaign run against
+//! this backend traces byte-identical to the in-process kvstore path
+//! (pinned by `campaign/tests/netstore.rs`), while the exact same
+//! backend pointed at a TCP address rides a durable, crash-recoverable
+//! server.
+//!
+//! Bulk reads use the wire `get_many` (one round trip) and listing uses
+//! server-side glob `keys`; the batched client is what keeps the
+//! feedback loop's op cost amortized once a real network sits between
+//! the workflow manager and its frames.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use storeserver::{StoreClient, StoreEngine, StoreError};
+use trace::Tracer;
+
+use crate::store::{BackendKind, DataStore};
+use crate::{DataError, Result};
+
+/// A store backed by the networked datastore tier.
+pub struct RemoteDataStore {
+    client: StoreClient,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for RemoteDataStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteDataStore").finish_non_exhaustive()
+    }
+}
+
+impl RemoteDataStore {
+    /// A deterministic in-process store: a fresh memory-only engine
+    /// behind the loopback transport. The drop-in replacement for
+    /// `KvDataStore::new(shards)` on the campaign path.
+    pub fn loopback(shards: usize) -> RemoteDataStore {
+        RemoteDataStore::over_engine(Arc::new(StoreEngine::in_memory(shards)))
+    }
+
+    /// Loopback over an existing engine (shared, or durable via
+    /// `StoreEngine::open` — WAL records and recovery work identically
+    /// in-process).
+    pub fn over_engine(engine: Arc<StoreEngine>) -> RemoteDataStore {
+        RemoteDataStore {
+            client: StoreClient::loopback(engine),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Connects to a store server over TCP.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<RemoteDataStore> {
+        Ok(RemoteDataStore {
+            client: StoreClient::connect(addr)?,
+            tracer: Tracer::disabled(),
+        })
+    }
+
+    /// Installs a tracer; each operation bumps the same `datastore.kv.*`
+    /// counter family as the in-process backend.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The underlying wire client.
+    pub fn client(&mut self) -> &mut StoreClient {
+        &mut self.client
+    }
+
+    /// Records one store operation. The op counter matches
+    /// `KvDataStore` byte for byte; there is no virtual latency model
+    /// on the wire client, so the `datastore.kv.op_ns` histogram never
+    /// observes — exactly the zero-latency case of the in-process path.
+    fn trace_op(&self, op: &'static str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.counter_add(&format!("datastore.kv.{op}s"), 1);
+    }
+
+    fn full_key(ns: &str, key: &str) -> String {
+        format!("{ns}:{{{key}}}")
+    }
+
+    fn strip_ns(ns: &str, full: &str) -> Option<String> {
+        let prefix = format!("{ns}:{{");
+        full.strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix('}'))
+            .map(str::to_string)
+    }
+}
+
+fn lift(e: StoreError) -> DataError {
+    match e {
+        StoreError::Io(e) => DataError::Io(e),
+        StoreError::NoSuchKey(k) => DataError::Kv(kvstore::KvError::NoSuchKey(k)),
+        StoreError::CrossShardRename { from, to } => {
+            DataError::Kv(kvstore::KvError::CrossShardRename { from, to })
+        }
+        other => DataError::Io(std::io::Error::other(other.to_string())),
+    }
+}
+
+impl DataStore for RemoteDataStore {
+    fn kind(&self) -> BackendKind {
+        BackendKind::RemoteKv
+    }
+
+    fn write(&mut self, ns: &str, key: &str, data: &[u8]) -> Result<()> {
+        self.client
+            .put(&Self::full_key(ns, key), Bytes::copy_from_slice(data))
+            .map_err(lift)?;
+        self.trace_op("write");
+        Ok(())
+    }
+
+    fn read(&mut self, ns: &str, key: &str) -> Result<Vec<u8>> {
+        let got = self.client.get(&Self::full_key(ns, key)).map_err(lift)?;
+        self.trace_op("read");
+        got.map(|b| b.to_vec()).ok_or_else(|| DataError::NotFound {
+            ns: ns.to_string(),
+            key: key.to_string(),
+        })
+    }
+
+    fn exists(&mut self, ns: &str, key: &str) -> bool {
+        self.client
+            .exists(&Self::full_key(ns, key))
+            .unwrap_or(false)
+    }
+
+    fn list(&mut self, ns: &str) -> Result<Vec<String>> {
+        let mut keys: Vec<String> = self
+            .client
+            .keys(&format!("{ns}:{{*"))
+            .map_err(lift)?
+            .iter()
+            .filter_map(|k| Self::strip_ns(ns, k))
+            .collect();
+        // Shard-grouped on the wire; the trait promises lexicographic.
+        keys.sort_unstable();
+        Ok(keys)
+    }
+
+    fn move_ns(&mut self, key: &str, from: &str, to: &str) -> Result<()> {
+        let renamed = self
+            .client
+            .rename(&Self::full_key(from, key), &Self::full_key(to, key));
+        self.trace_op("move");
+        renamed.map_err(|e| match e {
+            StoreError::NoSuchKey(_) => DataError::NotFound {
+                ns: from.to_string(),
+                key: key.to_string(),
+            },
+            other => lift(other),
+        })
+    }
+
+    fn delete(&mut self, ns: &str, key: &str) -> Result<bool> {
+        self.client.del(&Self::full_key(ns, key)).map_err(lift)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // The wire durability barrier (a no-op on a memory-only engine).
+        self.client.sync().map_err(lift)?;
+        Ok(())
+    }
+
+    fn read_many(&mut self, ns: &str, keys: &[String]) -> Result<Vec<Vec<u8>>> {
+        let full: Vec<String> = keys.iter().map(|k| Self::full_key(ns, k)).collect();
+        let vals = self.client.get_many(full).map_err(lift)?;
+        self.trace_op("read_many");
+        keys.iter()
+            .zip(vals)
+            .map(|(k, v)| {
+                v.map(|b| b.to_vec()).ok_or_else(|| DataError::NotFound {
+                    ns: ns.to_string(),
+                    key: k.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvDataStore;
+
+    /// Every op, run against both backends: results (including error
+    /// shapes and list order) must agree — the differential oracle for
+    /// transport independence.
+    #[test]
+    fn remote_loopback_matches_in_process_kv() {
+        let mut kv = KvDataStore::new(20);
+        let mut remote = RemoteDataStore::loopback(20);
+        let both = |kv: &mut KvDataStore,
+                    remote: &mut RemoteDataStore,
+                    f: &dyn Fn(&mut dyn DataStore) -> String| {
+            let a = f(kv);
+            let b = f(remote);
+            assert_eq!(a, b);
+        };
+
+        for i in 0..50 {
+            both(&mut kv, &mut remote, &|s| {
+                format!("{:?}", s.write("rdf-new", &format!("s{i}:f0"), &[i as u8]))
+            });
+        }
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.list("rdf-new"))
+        });
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.read("rdf-new", "s7:f0"))
+        });
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.read("rdf-new", "missing"))
+        });
+        both(&mut kv, &mut remote, &|s| {
+            format!("{}", s.exists("rdf-new", "s3:f0"))
+        });
+        for i in 0..25 {
+            both(&mut kv, &mut remote, &|s| {
+                format!(
+                    "{:?}",
+                    s.move_ns(&format!("s{i}:f0"), "rdf-new", "rdf-done")
+                )
+            });
+        }
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.move_ns("missing", "rdf-new", "rdf-done"))
+        });
+        let keys: Vec<String> = (20..30).map(|i| format!("s{i}:f0")).collect();
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.read_many("rdf-new", &keys.clone()))
+        });
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.delete("rdf-new", "s30:f0"))
+        });
+        both(&mut kv, &mut remote, &|s| {
+            format!("{:?}", s.count("rdf-done"))
+        });
+        both(&mut kv, &mut remote, &|s| format!("{:?}", s.flush()));
+    }
+
+    #[test]
+    fn traces_share_the_kv_vocabulary() {
+        let tracer = Tracer::enabled();
+        let mut remote = RemoteDataStore::loopback(4);
+        remote.set_tracer(tracer.clone());
+        remote.write("ns", "k", b"v").unwrap();
+        remote.read("ns", "k").unwrap();
+        remote.move_ns("k", "ns", "done").unwrap();
+        remote.read_many("done", &["k".to_string()]).unwrap();
+        let jsonl = tracer.to_jsonl();
+        for counter in [
+            "datastore.kv.writes",
+            "datastore.kv.reads",
+            "datastore.kv.moves",
+            "datastore.kv.read_manys",
+        ] {
+            assert!(jsonl.contains(counter), "missing {counter} in {jsonl}");
+        }
+    }
+}

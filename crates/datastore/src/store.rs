@@ -11,6 +11,8 @@ pub enum BackendKind {
     Taridx,
     /// In-memory key-value cluster.
     Redis,
+    /// Networked sharded store tier (wire protocol + WAL durability).
+    RemoteKv,
 }
 
 impl BackendKind {
@@ -20,6 +22,7 @@ impl BackendKind {
             BackendKind::Filesystem => "filesystem",
             BackendKind::Taridx => "taridx",
             BackendKind::Redis => "redis",
+            BackendKind::RemoteKv => "remote-kv",
         }
     }
 }
@@ -94,5 +97,6 @@ mod tests {
         assert_eq!(BackendKind::Filesystem.name(), "filesystem");
         assert_eq!(BackendKind::Taridx.name(), "taridx");
         assert_eq!(BackendKind::Redis.name(), "redis");
+        assert_eq!(BackendKind::RemoteKv.name(), "remote-kv");
     }
 }

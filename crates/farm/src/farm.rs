@@ -154,6 +154,13 @@ pub struct FarmStats {
     pub legs_completed: u64,
     /// Worker kills fired by the chaos plan.
     pub kills_fired: u64,
+    /// Kills that landed on a worker with a leg in flight. Each owes
+    /// exactly one checkpoint recovery, so once the farm drains,
+    /// `recoveries == kills_mid_leg` (asserted by `farm_bench`).
+    pub kills_mid_leg: u64,
+    /// Kills that landed on an idle worker (replacement spawned, no
+    /// recovery owed).
+    pub kills_idle: u64,
     /// Checkpoint recoveries performed.
     pub recoveries: u64,
     /// Workers ever spawned (pool size + replacements).
@@ -243,6 +250,13 @@ struct Inner {
     kills_fired: usize,
     /// Kills requested through [`Farm::kill_worker`].
     admin_kills: u64,
+    /// Kills (plan or admin) that landed on a worker mid-leg — each one
+    /// discards an in-flight leg and owes exactly one checkpoint
+    /// recovery.
+    kills_mid_leg: u64,
+    /// Kills that landed on an idle worker — the worker dies and is
+    /// replaced, but no leg was in flight so no recovery follows.
+    kills_idle: u64,
     legs_completed: u64,
     shutdown: bool,
 }
@@ -287,6 +301,8 @@ impl Farm {
             kill_plan,
             kills_fired: 0,
             admin_kills: 0,
+            kills_mid_leg: 0,
+            kills_idle: 0,
             legs_completed: 0,
             shutdown: false,
         };
@@ -523,6 +539,8 @@ impl Farm {
                 .count() as u64,
             legs_completed: inner.legs_completed,
             kills_fired: inner.kills_fired as u64 + inner.admin_kills,
+            kills_mid_leg: inner.kills_mid_leg,
+            kills_idle: inner.kills_idle,
             recoveries: inner.entries.values().map(|e| e.recoveries).sum(),
             workers_spawned: inner.next_worker as u64,
             workers_alive: inner.workers.values().filter(|w| w.alive).count() as u64,
@@ -846,16 +864,31 @@ fn fire_due_kills(inner: &mut Inner, state: &Arc<FarmState>) {
         if inner.shutdown {
             continue; // plan exhausted against a draining farm
         }
-        let alive: Vec<usize> = inner
+        // Prefer workers with a leg actually in flight: the plan exists
+        // to exercise the discard-and-recover path, and a kill that
+        // lands on an idle worker tests nothing but the respawn. Only
+        // when every live worker is idle does the kill fall through to
+        // the full pool.
+        let busy: Vec<usize> = inner
             .workers
             .iter()
-            .filter(|(_, slot)| slot.alive)
+            .filter(|(_, slot)| slot.alive && slot.running.is_some())
             .map(|(idx, _)| *idx)
             .collect();
-        if alive.is_empty() {
+        let pool: Vec<usize> = if busy.is_empty() {
+            inner
+                .workers
+                .iter()
+                .filter(|(_, slot)| slot.alive)
+                .map(|(idx, _)| *idx)
+                .collect()
+        } else {
+            busy
+        };
+        if pool.is_empty() {
             continue;
         }
-        let victim = alive[kill.worker % alive.len()];
+        let victim = pool[kill.worker % pool.len()];
         kill_victim(inner, state, victim);
         state.work_cv.notify_all();
     }
@@ -867,12 +900,15 @@ fn kill_victim(inner: &mut Inner, state: &Arc<FarmState>, victim: usize) {
     let slot = inner.workers.get_mut(&victim).expect("victim slot exists");
     slot.alive = false;
     if let Some(entry_id) = slot.running {
+        inner.kills_mid_leg += 1;
         let entry = inner
             .entries
             .get_mut(&entry_id)
             .expect("victim's entry exists");
         entry.killed = true;
         entry.control.request_pause();
+    } else {
+        inner.kills_idle += 1;
     }
     let idx = inner.next_worker;
     inner.next_worker += 1;

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use campaign::CampaignConfig;
+use campaign::{CampaignConfig, StoreBackend};
 use resources::MatchPolicy;
 use sched::Coupling;
 use trace::Json;
@@ -128,6 +128,10 @@ fn apply_override(cfg: &mut CampaignConfig, key: &str, v: &Json) -> Result<(), S
                 "sync" => Coupling::Synchronous,
                 other => return Err(format!("unknown coupling {other:?}")),
             }
+        }
+        "store" => {
+            cfg.store_backend = StoreBackend::parse(string()?)
+                .ok_or_else(|| format!("unknown store backend {:?}", string().unwrap()))?
         }
         other => return Err(format!("unknown config key {other:?}")),
     }
@@ -261,7 +265,8 @@ mod tests {
         let line = r#"{"op": "submit", "tenant": "alice", "trace": true,
                        "schedule": [[20, 6], [32, 4]], "pause_at_hours": 3,
                        "config": {"seed": 7, "policy": "first_match",
-                                  "coupling": "async", "aa_target_ns": [5, 8]}}"#;
+                                  "coupling": "async", "aa_target_ns": [5, 8],
+                                  "store": "loopback"}}"#;
         let Request::Submit(spec) = Request::decode(&line.replace('\n', " ")).unwrap() else {
             panic!("not a submit");
         };
@@ -273,6 +278,16 @@ mod tests {
         assert_eq!(spec.cfg.policy, MatchPolicy::FirstMatch);
         assert_eq!(spec.cfg.coupling, Coupling::Asynchronous);
         assert_eq!(spec.cfg.aa_target_ns, (5.0, 8.0));
+        assert_eq!(spec.cfg.store_backend, StoreBackend::Loopback);
+    }
+
+    #[test]
+    fn unknown_store_backend_bounces() {
+        let e = Request::decode(
+            r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "config": {"store": "memcached"}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown store backend"), "{e}");
     }
 
     #[test]

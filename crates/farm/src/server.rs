@@ -60,6 +60,8 @@ fn stats_json(s: &FarmStats) -> Json {
     map.insert("completed".into(), Json::Num(s.completed as f64));
     map.insert("legs_completed".into(), Json::Num(s.legs_completed as f64));
     map.insert("kills_fired".into(), Json::Num(s.kills_fired as f64));
+    map.insert("kills_mid_leg".into(), Json::Num(s.kills_mid_leg as f64));
+    map.insert("kills_idle".into(), Json::Num(s.kills_idle as f64));
     map.insert("recoveries".into(), Json::Num(s.recoveries as f64));
     map.insert(
         "workers_spawned".into(),

@@ -1,0 +1,135 @@
+//! Property-based placement contracts: hash tags pin co-location, a
+//! rename that would cross shards is a typed error (never a silent
+//! partial mutation), and a saved cluster snapshot restores placement
+//! exactly. These are the invariants the networked store tier inherits
+//! — `storeserver` routes with this same `Cluster`, so a placement bug
+//! here would surface as wire-level data loss there.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use kvstore::{Client, Cluster, KvError};
+
+/// A key fragment: namespace-ish text without hash-tag braces.
+fn frag() -> impl Strategy<Value = String> {
+    "[a-z0-9:._-]{0,12}"
+}
+
+/// A hash tag body (non-empty — an empty tag falls back to whole-key
+/// hashing by the Redis rule).
+fn tag() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,16}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any two keys sharing a `{tag}` land on the same shard, whatever
+    /// surrounds the tag and however many shards the cluster has. This
+    /// is what makes `move_ns` (rename across namespaces) single-shard
+    /// and atomic for every frame of a simulation.
+    #[test]
+    fn same_tag_keys_co_shard(
+        shards in 1usize..64,
+        tag in tag(),
+        pre_a in frag(), post_a in frag(),
+        pre_b in frag(), post_b in frag(),
+    ) {
+        let cluster = Cluster::new(shards);
+        let a = format!("{pre_a}{{{tag}}}{post_a}");
+        let b = format!("{pre_b}{{{tag}}}{post_b}");
+        prop_assert_eq!(
+            cluster.shard_for(&a),
+            cluster.shard_for(&b),
+            "{} and {} share tag {{{}}} but split shards",
+            a, b, tag
+        );
+    }
+
+    /// A rename whose source and destination hash to different shards
+    /// returns the typed `CrossShardRename` error carrying both key
+    /// names, and mutates nothing: the source stays, the destination
+    /// never appears. Same-shard renames succeed and move the value.
+    #[test]
+    fn cross_shard_rename_is_typed_and_mutation_free(
+        shards in 2usize..32,
+        from_tag in tag(),
+        to_tag in tag(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let cluster = Cluster::new(shards);
+        let client = Client::new(std::sync::Arc::clone(&cluster));
+        let from = format!("src:{{{from_tag}}}");
+        let to = format!("dst:{{{to_tag}}}");
+        client.set(&from, Bytes::from(payload.clone()));
+        let crosses = cluster.shard_for(&from) != cluster.shard_for(&to);
+        match client.rename(&from, &to) {
+            Ok(()) => {
+                prop_assert!(!crosses, "cross-shard rename succeeded silently");
+                if from != to {
+                    prop_assert!(!client.exists(&from));
+                }
+                let moved = client.get(&to);
+                prop_assert_eq!(moved.as_deref(), Some(&payload[..]));
+            }
+            Err(KvError::CrossShardRename { from: f, to: t }) => {
+                prop_assert!(crosses, "same-shard rename bounced as cross-shard");
+                prop_assert_eq!(&f, &from);
+                prop_assert_eq!(&t, &to);
+                // The failed rename is a no-op, not a partial move.
+                let kept = client.get(&from);
+                prop_assert_eq!(kept.as_deref(), Some(&payload[..]));
+                prop_assert!(!client.exists(&to));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// `save` → `load` round-trips the shard count and every shard's
+    /// exact population — placement is preserved byte for byte, not
+    /// recomputed.
+    #[test]
+    fn snapshot_round_trips_shard_populations(
+        shards in 1usize..24,
+        entries in proptest::collection::vec(
+            ("[a-z0-9:{}_-]{1,20}", proptest::collection::vec(any::<u8>(), 0..32)),
+            0..40,
+        ),
+    ) {
+        let cluster = Cluster::new(shards);
+        let client = Client::new(std::sync::Arc::clone(&cluster));
+        for (k, v) in &entries {
+            client.set(k, Bytes::from(v.clone()));
+        }
+        let mut buf = Vec::new();
+        cluster.save(&mut buf).unwrap();
+        let restored = Cluster::load(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(restored.shard_count(), cluster.shard_count());
+        prop_assert_eq!(restored.len(), cluster.len());
+        for i in 0..cluster.shard_count() {
+            let mut want = cluster.shard(i).keys("*");
+            let mut got = restored.shard(i).keys("*");
+            want.sort();
+            got.sort();
+            prop_assert_eq!(&got, &want, "shard {} population diverged", i);
+            for key in want {
+                prop_assert_eq!(
+                    restored.shard(i).get(&key),
+                    cluster.shard(i).get(&key),
+                    "value diverged at {}", key
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn load_rejects_garbage() {
+    assert!(Cluster::load(&mut &b"not a snapshot"[..]).is_err());
+    let mut truncated = Vec::new();
+    let cluster = Cluster::new(4);
+    Client::new(std::sync::Arc::clone(&cluster)).set("k:{t}", &b"v"[..]);
+    cluster.save(&mut truncated).unwrap();
+    truncated.truncate(truncated.len() - 1);
+    assert!(Cluster::load(&mut truncated.as_slice()).is_err());
+}

@@ -1,0 +1,115 @@
+//! Many concurrent clients against one server — the tsan target.
+//!
+//! Eight writer clients on disjoint hash tags plus a scanner, the shape
+//! of a feedback iteration where thousands of CG analyses write while
+//! the workflow manager scans. Conservation asserts at the end: every
+//! acknowledged write is present, namespaces stay disjoint, renames
+//! neither lose nor duplicate a frame.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use std::thread;
+
+use storeserver::{StoreClient, StoreEngine, StoreServer};
+
+const WRITERS: usize = 8;
+const PER_WRITER: usize = 200;
+
+#[test]
+fn concurrent_writers_and_scanner_conserve_every_frame() {
+    let engine = Arc::new(StoreEngine::in_memory(20));
+    let server = StoreServer::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    thread::scope(|s| {
+        for t in 0..WRITERS {
+            s.spawn(move || {
+                let mut c = StoreClient::connect(addr).expect("connect");
+                // Pipelined writes on this writer's own tag namespace.
+                let pairs: Vec<(String, Bytes)> = (0..PER_WRITER)
+                    .map(|i| {
+                        (
+                            format!("rdf:new:{{t{t}}}:f{i}"),
+                            Bytes::from(vec![t as u8; 64]),
+                        )
+                    })
+                    .collect();
+                for chunk in pairs.chunks(32) {
+                    assert_eq!(c.put_many(chunk.to_vec()).unwrap(), chunk.len() as u64);
+                }
+                // Tag half of them as done (same-tag rename = same shard).
+                for i in 0..PER_WRITER / 2 {
+                    c.rename(
+                        &format!("rdf:new:{{t{t}}}:f{i}"),
+                        &format!("rdf:done:{{t{t}}}:f{i}"),
+                    )
+                    .unwrap();
+                }
+            });
+        }
+        // A scanner races the writers; every observation must be
+        // internally consistent (no phantom keys, counts never exceed
+        // the final totals).
+        s.spawn(move || {
+            let mut c = StoreClient::connect(addr).expect("connect");
+            for _ in 0..20 {
+                let n = c.keys("rdf:*").unwrap().len();
+                assert!(n <= WRITERS * PER_WRITER, "phantom keys: {n}");
+            }
+        });
+    });
+
+    let mut c = StoreClient::connect(addr).expect("connect");
+    assert_eq!(c.keys("rdf:*").unwrap().len(), WRITERS * PER_WRITER);
+    for t in 0..WRITERS {
+        assert_eq!(
+            c.keys(&format!("rdf:new:{{t{t}}}*")).unwrap().len(),
+            PER_WRITER / 2
+        );
+        assert_eq!(
+            c.keys(&format!("rdf:done:{{t{t}}}*")).unwrap().len(),
+            PER_WRITER / 2
+        );
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.keys as usize, WRITERS * PER_WRITER);
+    server.stop();
+}
+
+#[test]
+fn concurrent_deleters_count_each_key_once() {
+    let engine = Arc::new(StoreEngine::in_memory(8));
+    let server = StoreServer::start(engine, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let mut setup = StoreClient::connect(addr).unwrap();
+    let keys: Vec<String> = (0..1000).map(|i| format!("del:{{k{i}}}")).collect();
+    let pairs: Vec<(String, Bytes)> = keys
+        .iter()
+        .map(|k| (k.clone(), Bytes::from_static(b"x")))
+        .collect();
+    setup.put_many(pairs).unwrap();
+
+    // Four clients race to delete the same 1000 keys; exactly 1000
+    // deletions may be acknowledged as "existed" across all of them.
+    let total: u64 = thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let keys = keys.clone();
+                s.spawn(move || {
+                    let mut c = StoreClient::connect(addr).expect("connect");
+                    let mut mine = 0u64;
+                    for chunk in keys.chunks(100) {
+                        mine += c.del_many(chunk.to_vec()).unwrap();
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(total, 1000, "each key deleted exactly once across racers");
+    let mut c = StoreClient::connect(addr).unwrap();
+    assert!(c.keys("del:*").unwrap().is_empty());
+    server.stop();
+}

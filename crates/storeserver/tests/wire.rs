@@ -1,0 +1,190 @@
+//! Wire-level integration: TCP round trips, pipelining, typed errors,
+//! and TCP/loopback parity.
+
+use bytes::Bytes;
+use std::sync::Arc;
+
+use storeserver::proto::{Request, Response};
+use storeserver::{StoreClient, StoreEngine, StoreError, StoreServer};
+
+fn serve(shards: usize) -> (StoreServer, StoreClient) {
+    let engine = Arc::new(StoreEngine::in_memory(shards));
+    let server = StoreServer::start(engine, "127.0.0.1:0").expect("bind loopback");
+    let client = StoreClient::connect(server.addr()).expect("connect");
+    (server, client)
+}
+
+#[test]
+fn full_op_set_round_trips_over_tcp() {
+    let (server, mut c) = serve(8);
+    c.ping().unwrap();
+    assert!(c.put("rdf:new:{s1}:f0", &b"payload"[..]).unwrap());
+    assert!(!c.put("rdf:new:{s1}:f0", &b"payload2"[..]).unwrap());
+    assert_eq!(
+        c.get("rdf:new:{s1}:f0").unwrap().unwrap().as_ref(),
+        b"payload2"
+    );
+    assert!(c.exists("rdf:new:{s1}:f0").unwrap());
+    c.rename("rdf:new:{s1}:f0", "rdf:done:{s1}:f0").unwrap();
+    assert_eq!(c.keys("rdf:done:*").unwrap(), vec!["rdf:done:{s1}:f0"]);
+    assert!(c.del("rdf:done:{s1}:f0").unwrap());
+    assert!(!c.del("rdf:done:{s1}:f0").unwrap());
+    assert!(c.get("rdf:done:{s1}:f0").unwrap().is_none());
+
+    let pairs: Vec<(String, Bytes)> = (0..100)
+        .map(|i| (format!("k:{{t{i}}}"), Bytes::from(vec![i as u8; 32])))
+        .collect();
+    assert_eq!(c.put_many(pairs.clone()).unwrap(), 100);
+    let keys: Vec<String> = pairs.iter().map(|(k, _)| k.clone()).collect();
+    let vals = c.get_many(keys.clone()).unwrap();
+    assert_eq!(vals.len(), 100);
+    assert!(vals.iter().all(Option::is_some));
+
+    // Incremental scan agrees with KEYS.
+    let mut scanned = Vec::new();
+    let mut cursor = 0u64;
+    loop {
+        let (batch, next) = c.scan("k:*", cursor, 17).unwrap();
+        scanned.extend(batch);
+        match next {
+            Some(n) => cursor = n,
+            None => break,
+        }
+    }
+    scanned.sort();
+    let mut all = c.keys("k:*").unwrap();
+    all.sort();
+    assert_eq!(scanned, all);
+    assert_eq!(scanned.len(), 100);
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.shards, 8);
+    assert_eq!(stats.keys, 100);
+    assert_eq!(stats.memory_bytes, 100 * 32);
+
+    assert_eq!(c.del_many(keys).unwrap(), 100);
+    c.sync().unwrap();
+    server.stop();
+}
+
+#[test]
+fn typed_errors_cross_the_wire() {
+    let (server, mut c) = serve(64);
+    // Rename of a missing key: typed NoSuchKey, not a dropped connection.
+    match c.rename("missing:{x}", "other:{x}") {
+        Err(StoreError::NoSuchKey(k)) => assert_eq!(k, "missing:{x}"),
+        other => panic!("wanted NoSuchKey, got {other:?}"),
+    }
+    // Cross-shard rename: the typed error arrives with both key names.
+    let from = "alpha".to_string();
+    let engine = Arc::clone(server.engine());
+    let to = (0..10_000)
+        .map(|i| format!("beta-{i}"))
+        .find(|k| engine.cluster().shard_for(k) != engine.cluster().shard_for(&from))
+        .expect("some key lands elsewhere");
+    c.put(&from, &b"v"[..]).unwrap();
+    match c.rename(&from, &to) {
+        Err(StoreError::CrossShardRename { from: f, to: t }) => {
+            assert_eq!(f, from);
+            assert_eq!(t, to);
+        }
+        other => panic!("wanted CrossShardRename, got {other:?}"),
+    }
+    // The connection survives typed errors: the next op works.
+    assert!(c.exists(&from).unwrap());
+    server.stop();
+}
+
+#[test]
+fn malformed_frames_bounce_without_killing_the_connection() {
+    let (server, _c) = serve(4);
+    use std::io::{BufReader, Write};
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // Unknown opcode 200 with an empty body.
+    let mut frame = Vec::new();
+    storeserver::proto::write_frame(&mut frame, 1, 200, &[]).unwrap();
+    writer.write_all(&frame).unwrap();
+    writer.flush().unwrap();
+    let (seq, st, body) = storeserver::proto::read_frame(&mut reader)
+        .unwrap()
+        .unwrap();
+    assert_eq!(seq, 1);
+    assert!(matches!(
+        Response::decode(st, &body).unwrap(),
+        Response::Err(storeserver::WireError::BadRequest(_))
+    ));
+    // Connection still serves well-formed requests.
+    writer.write_all(&Request::Ping.encode_frame(2)).unwrap();
+    writer.flush().unwrap();
+    let (seq, st, body) = storeserver::proto::read_frame(&mut reader)
+        .unwrap()
+        .unwrap();
+    assert_eq!(seq, 2);
+    assert_eq!(Response::decode(st, &body).unwrap(), Response::Unit);
+    server.stop();
+}
+
+#[test]
+fn pipelined_batch_matches_by_sequence_id() {
+    let (server, mut c) = serve(8);
+    let depth = 64;
+    let reqs: Vec<Request> = (0..depth)
+        .map(|i| Request::Put {
+            key: format!("p:{{k{i}}}"),
+            value: Bytes::from(vec![i as u8; 8]),
+        })
+        .collect();
+    let resps = c.call_pipelined(&reqs).unwrap();
+    assert_eq!(resps.len(), depth);
+    assert!(resps.iter().all(|r| *r == Response::Bool(true)));
+
+    // Mixed batch: reads come back positionally matched.
+    let reqs: Vec<Request> = (0..depth)
+        .map(|i| Request::Get {
+            key: format!("p:{{k{i}}}"),
+        })
+        .collect();
+    let resps = c.call_pipelined(&reqs).unwrap();
+    for (i, r) in resps.iter().enumerate() {
+        assert_eq!(*r, Response::Value(Some(Bytes::from(vec![i as u8; 8]))));
+    }
+    server.stop();
+}
+
+#[test]
+fn loopback_and_tcp_agree_on_every_op() {
+    let engine_tcp = Arc::new(StoreEngine::in_memory(16));
+    let server = StoreServer::start(Arc::clone(&engine_tcp), "127.0.0.1:0").unwrap();
+    let mut tcp = StoreClient::connect(server.addr()).unwrap();
+    let mut loopback = StoreClient::loopback(Arc::new(StoreEngine::in_memory(16)));
+
+    let script: Vec<Request> = (0..50)
+        .map(|i| Request::Put {
+            key: format!("ns:{{k{i}}}"),
+            value: Bytes::from(vec![i as u8; 10]),
+        })
+        .chain((0..25).map(|i| Request::Rename {
+            from: format!("ns:{{k{i}}}"),
+            to: format!("done:{{k{i}}}"),
+        }))
+        .chain(std::iter::once(Request::Keys {
+            pattern: "done:*".into(),
+        }))
+        .chain((0..10).map(|i| Request::Del {
+            key: format!("done:{{k{i}}}"),
+        }))
+        .chain(std::iter::once(Request::Rename {
+            from: "ns:{k99}".into(),
+            to: "done:{k99}".into(),
+        }))
+        .chain(std::iter::once(Request::Stats))
+        .collect();
+    for req in &script {
+        let a = tcp.call(req).unwrap();
+        let b = loopback.call(req).unwrap();
+        assert_eq!(a, b, "transports diverged on {req:?}");
+    }
+    server.stop();
+}
