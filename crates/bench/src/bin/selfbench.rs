@@ -55,6 +55,10 @@
 //!   selfbench --scale <1/64,1/8,1/2,1/1|all> [--out <path>] [--hours <n>]
 //!   selfbench --parallel <1/64,1/8,1/2,1/1|all> [--out <path>] [--hours <n>]
 //!   selfbench --table1 [--out <path>]
+//!
+//! The smoke and `--scale` modes also accept the shared scheduler flags
+//! `--policy <name>`, `--workload <spec>`, and `--legacy-sched` (see
+//! [`mummi_bench::apply_sched_args`]).
 
 use std::time::Instant;
 
@@ -105,11 +109,13 @@ fn run_mode(mode: DriveMode, poll: SimDuration, reps: u32) -> Phase {
         .sum();
     let mut best: Option<Phase> = None;
     for _ in 0..reps.max(1) {
-        let mut c = Campaign::new(CampaignConfig {
+        let mut cfg = CampaignConfig {
             poll_interval: poll,
             mode,
             ..CampaignConfig::default()
-        });
+        };
+        mummi_bench::apply_sched_args(&mut cfg);
+        let mut c = Campaign::new(cfg);
         let start = Instant::now();
         c.run_table(SCHEDULE);
         let wall = start.elapsed().as_secs_f64();
@@ -143,11 +149,13 @@ struct RungResult {
 }
 
 fn run_rung(nodes: u32, hours: u64, linear: bool, serial: bool) -> RungResult {
-    let mut c = Campaign::new(CampaignConfig {
+    let mut cfg = CampaignConfig {
         linear_scan: linear,
         serial_loop: serial,
         ..CampaignConfig::scale_rung(nodes)
-    });
+    };
+    mummi_bench::apply_sched_args(&mut cfg);
+    let mut c = Campaign::new(cfg);
     let start = Instant::now();
     let r = c.execute_run(nodes, hours);
     let wall = start.elapsed().as_secs_f64();

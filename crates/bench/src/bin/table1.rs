@@ -4,10 +4,14 @@
 //! This work utilized over 600,000 node hours on Summit using several runs
 //! at varying scales."
 //!
-//! Usage: `table1 [--full | --smoke] [--chaos <seed>] [--ticked] [--serial]`.
+//! Usage: `table1 [--full | --smoke] [--chaos <seed>] [--ticked] [--serial]
+//! [--policy <name>] [--workload <spec>] [--legacy-sched]`.
 //! `--serial` pins the legacy serial event-loop body (the differential
 //! oracle for the partitioned parallel loop — same bytes, only wall
-//! clock may differ). The default
+//! clock may differ). `--policy` picks the queue-ordering/backfill
+//! policy, `--workload` adds a background job stream (synthetic mix or
+//! `trace:<path>`), and `--legacy-sched` pins the retained pre-split
+//! FCFS monolith (the CI byte-identity oracle). The default
 //! executes the paper's exact schedule but with the twenty 1000-node runs
 //! represented by five (the DES is deterministic, so additional identical
 //! runs only add wall time); `--full` executes all 32 runs; `--smoke` runs
@@ -50,6 +54,7 @@ fn main() {
         serial_loop: mummi_bench::serial_loop_from_args(),
         ..CampaignConfig::default()
     };
+    mummi_bench::apply_sched_args(&mut cfg);
     let plan = chaos_seed.map(|seed| {
         // Fault times are relative to each run's start; spanning the
         // shortest scheduled allocation puts every fault inside every run.

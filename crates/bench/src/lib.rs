@@ -110,6 +110,44 @@ pub fn serial_loop_from_args() -> bool {
     std::env::args().skip(1).any(|a| a == "--serial")
 }
 
+/// Applies the scheduler-policy flags shared by the campaign binaries:
+/// `--policy <name>` selects the queue-ordering/backfill policy (see
+/// [`sched::SchedPolicy::parse`] for names), `--workload <spec>` adds a
+/// background job stream (a synthetic mix name or `trace:<path>`), and
+/// `--legacy-sched` routes FCFS through the retained pre-split monolith
+/// (the CI byte-identity oracle). Unknown names abort with the valid
+/// set — a typo must not silently run the default policy.
+pub fn apply_sched_args(cfg: &mut campaign::CampaignConfig) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(name) = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+    {
+        cfg.sched_policy = sched::SchedPolicy::parse(name).unwrap_or_else(|| {
+            let names: Vec<&str> = sched::SchedPolicy::ALL.iter().map(|p| p.name()).collect();
+            panic!("unknown --policy {name:?}; expected one of {names:?}")
+        });
+    }
+    if let Some(spec) = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+    {
+        cfg.workload = Some(workload::WorkloadSpec::parse(spec).unwrap_or_else(|| {
+            let names: Vec<String> = workload::WorkloadSpec::SYNTHETIC
+                .iter()
+                .map(|w| w.name())
+                .collect();
+            panic!("unknown --workload {spec:?}; expected trace:<path> or one of {names:?}")
+        }));
+    }
+    cfg.legacy_sched = args.iter().any(|a| a == "--legacy-sched");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid scheduler flags: {e}");
+    }
+}
+
 /// Prints a two-column header followed by rows.
 pub fn print_series(title: &str, xlabel: &str, ylabel: &str, rows: &[(f64, f64)]) {
     println!("## {title}");

@@ -17,9 +17,10 @@
 //!    | priority | source   | serial-loop step                     |
 //!    |---------:|----------|--------------------------------------|
 //!    | 0        | Snapshot | continuum snapshot → patch candidates|
-//!    | 1        | Failure  | node-attrition arrivals              |
-//!    | 2        | Chaos    | fault-plan events                    |
-//!    | 3        | Wm       | scheduler poll + WM maintenance      |
+//!    | 1        | Workload | background workload-source arrivals  |
+//!    | 2        | Failure  | node-attrition arrivals              |
+//!    | 3        | Chaos    | fault-plan events                    |
+//!    | 4        | Wm       | scheduler poll + WM maintenance      |
 //!
 //!    The ordered merge of cross-partition messages at a barrier is
 //!    byte-stable because every partition is absorbed in this order.
@@ -47,6 +48,9 @@ use simcore::SimTime;
 pub enum WakeSource {
     /// Continuum snapshot → patch-candidate generation.
     Snapshot,
+    /// Background workload-source arrivals ([`workload::WorkloadSource`]
+    /// streams submitted alongside the WM's own jobs).
+    Workload,
     /// Node-attrition (hardware failure) arrivals.
     Failure,
     /// Chaos fault-plan events (node kills, store windows, hangs, WM
@@ -67,13 +71,15 @@ pub struct Horizon {
     pub source: WakeSource,
 }
 
-/// Computes the safe horizon from the four wakeup sources.
+/// Computes the safe horizon from the five wakeup sources.
 ///
 /// Ties resolve to the lowest-priority-number source ([`WakeSource`]
-/// order), matching the serial loop's drain order. `chaos` is `None`
-/// when the fault-plan queue is empty.
+/// order), matching the serial loop's drain order. `workload` is `None`
+/// when no background workload source is configured (or it is
+/// exhausted); `chaos` is `None` when the fault-plan queue is empty.
 pub fn next_horizon(
     snapshot: SimTime,
+    workload: Option<SimTime>,
     failure: SimTime,
     chaos: Option<SimTime>,
     wm: SimTime,
@@ -85,6 +91,7 @@ pub fn next_horizon(
     // Strict `<` keeps the earliest-listed source on ties: the listing
     // order *is* the priority order.
     for (at, source) in [
+        (workload, WakeSource::Workload),
         (Some(failure), WakeSource::Failure),
         (chaos, WakeSource::Chaos),
         (Some(wm), WakeSource::Wm),
@@ -187,26 +194,33 @@ mod tests {
 
     #[test]
     fn horizon_picks_earliest_source() {
-        let h = next_horizon(us(50), us(20), Some(us(30)), us(40));
+        let h = next_horizon(us(50), None, us(20), Some(us(30)), us(40));
         assert_eq!(h.at, us(20));
         assert_eq!(h.source, WakeSource::Failure);
-        let h = next_horizon(us(50), us(20), None, us(10));
+        let h = next_horizon(us(50), None, us(20), None, us(10));
         assert_eq!(h.source, WakeSource::Wm);
+        let h = next_horizon(us(50), Some(us(5)), us(20), None, us(10));
+        assert_eq!(h.at, us(5));
+        assert_eq!(h.source, WakeSource::Workload);
     }
 
     #[test]
     fn tied_sources_resolve_in_documented_priority_order() {
         // Regression for the tie-break bugfix: before the Horizon helper
         // the processing order of coincident wakeups was an accident of
-        // a `min` chain. The contract: Snapshot < Failure < Chaos < Wm.
+        // a `min` chain. The contract:
+        // Snapshot < Workload < Failure < Chaos < Wm.
         let t = us(77);
-        let all_tied = next_horizon(t, t, Some(t), t);
+        let all_tied = next_horizon(t, Some(t), t, Some(t), t);
         assert_eq!(all_tied.source, WakeSource::Snapshot);
-        let no_snapshot = next_horizon(us(100), t, Some(t), t);
-        assert_eq!(no_snapshot.source, WakeSource::Failure);
-        let chaos_vs_wm = next_horizon(us(100), us(100), Some(t), t);
+        let no_snapshot = next_horizon(us(100), Some(t), t, Some(t), t);
+        assert_eq!(no_snapshot.source, WakeSource::Workload);
+        let no_workload = next_horizon(us(100), None, t, Some(t), t);
+        assert_eq!(no_workload.source, WakeSource::Failure);
+        let chaos_vs_wm = next_horizon(us(100), None, us(100), Some(t), t);
         assert_eq!(chaos_vs_wm.source, WakeSource::Chaos);
-        assert!(WakeSource::Snapshot < WakeSource::Failure);
+        assert!(WakeSource::Snapshot < WakeSource::Workload);
+        assert!(WakeSource::Workload < WakeSource::Failure);
         assert!(WakeSource::Failure < WakeSource::Chaos);
         assert!(WakeSource::Chaos < WakeSource::Wm);
     }

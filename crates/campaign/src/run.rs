@@ -1,6 +1,6 @@
 //! The multi-run campaign driver.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex; // lint: allow(L6: campaign shared-state import; each field carries its own reason)
@@ -14,9 +14,12 @@ use datastore::{DataStore, FaultWindow, KvDataStore, RemoteDataStore, ScheduledF
 use mummi_core::app3;
 use mummi_core::{RuntimeModel, WmCheckpoint, WmConfig, WmEvent, WorkflowManager};
 use resources::{JobShape, MachineSpec, MatchPolicy, ResourceGraph};
-use sched::{Costs, Coupling, JobClass, JobId, JobSpec, SchedEngine};
+use sched::{
+    ClassWait, Costs, Coupling, JobClass, JobId, JobSpec, JobState, SchedEngine, SchedPolicy,
+};
 use simcore::{EventQueue, OccupancyProfiler, SeedStream, SimDuration, SimTime, Timeline};
 use trace::Tracer;
+use workload::{WorkloadSource, WorkloadSpec};
 
 use crate::control::RunControl;
 use crate::driver;
@@ -99,6 +102,25 @@ pub struct CampaignConfig {
     pub coupling: Coupling,
     /// Matcher policy.
     pub policy: MatchPolicy,
+    /// Queue-ordering / backfill policy layered over the matcher (the
+    /// matcher stays the placement sub-policy). FCFS — the historical
+    /// behavior — is byte-identical to the pre-policy-zoo engine.
+    pub sched_policy: SchedPolicy,
+    /// Optional background workload submitted alongside the WM-driven
+    /// stream: a replayed trace or an adversarial synthetic mix, on its
+    /// own seed stream. `None` (the default) leaves the campaign
+    /// byte-identical to before the workload layer existed.
+    pub workload: Option<WorkloadSpec>,
+    /// Differential escape hatch (`--legacy-sched` on the bench
+    /// binaries): route service selection through the retained
+    /// pre-policy-zoo FCFS monolith. Same decisions, same traces — the
+    /// CI determinism smoke asserts same-seed byte-identity against the
+    /// split [`SchedPolicy::Fcfs`] path. Rejected unless `sched_policy`
+    /// is FCFS.
+    pub legacy_sched: bool,
+    /// Record every scheduler submission/cancel/node-failure into a
+    /// replayable job log, surfaced as [`RunReport::job_log`] (CSV).
+    pub record_jobs: bool,
     /// Selector queue cap (scaled from the paper's 35,000).
     pub queue_cap: usize,
     /// Probability a job fails and is resubmitted.
@@ -161,6 +183,10 @@ impl Default for CampaignConfig {
             submit_rate_per_min: 100,
             coupling: Coupling::Synchronous,
             policy: MatchPolicy::LowIdExhaustive,
+            sched_policy: SchedPolicy::Fcfs,
+            workload: None,
+            legacy_sched: false,
+            record_jobs: false,
             queue_cap: 2000,
             job_failure_prob: 0.005,
             node_failures_per_day: 2.0,
@@ -195,6 +221,13 @@ pub enum ConfigError {
         /// The rejected cap.
         cap: usize,
     },
+    /// `legacy_sched` is set with a non-FCFS `sched_policy` — the
+    /// retained monolith models FCFS only, so any other pairing would
+    /// silently change queue ordering.
+    LegacySchedRequiresFcfs {
+        /// The rejected queue policy.
+        policy: SchedPolicy,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -205,6 +238,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ReadyBufferCapTooSmall { cap } => {
                 write!(f, "ready_buffer_cap must be >= 8 (got {cap})")
+            }
+            ConfigError::LegacySchedRequiresFcfs { policy } => {
+                write!(f, "legacy_sched models fcfs only (got {})", policy.name())
             }
         }
     }
@@ -224,6 +260,11 @@ impl CampaignConfig {
         if self.ready_buffer_cap < 8 {
             return Err(ConfigError::ReadyBufferCapTooSmall {
                 cap: self.ready_buffer_cap,
+            });
+        }
+        if self.legacy_sched && self.sched_policy != SchedPolicy::Fcfs {
+            return Err(ConfigError::LegacySchedRequiresFcfs {
+                policy: self.sched_policy,
             });
         }
         Ok(())
@@ -399,6 +440,15 @@ pub struct RunReport {
     /// Always a whole-hour boundary; `None` for runs that reached their
     /// requested end.
     pub paused_at: Option<SimTime>,
+    /// Per-class queue-wait aggregates from the final scheduler
+    /// incarnation (fair-share observability). Empty when no job of a
+    /// class was placed.
+    pub class_waits: Vec<(JobClass, ClassWait)>,
+    /// The recorded job stream in CSV trace form, when
+    /// [`CampaignConfig::record_jobs`] was set. Only the final WM
+    /// incarnation's log survives a crash-chain run (earlier incarnations
+    /// die with their engines).
+    pub job_log: Option<String>,
 }
 
 /// The persistent campaign: survives across runs via checkpoints, exactly
@@ -705,6 +755,11 @@ impl Campaign {
             Costs::summit_campaign(),
         );
         engine.set_tracer(self.tracer.clone());
+        engine.set_sched_policy(self.cfg.sched_policy);
+        engine.set_legacy_fcfs(self.cfg.legacy_sched);
+        if self.cfg.record_jobs {
+            engine.set_recording(true);
+        }
 
         let cg_target = (total_gpus as f64 * self.cfg.cg_fraction) as u64;
         // Validated at construction/submission: divisor >= 1, cap >= 8.
@@ -897,6 +952,17 @@ impl Campaign {
             nodes,
         );
 
+        // Optional background workload: an extra job stream submitted
+        // straight to the scheduler on its own seed stream. The WM never
+        // tracks these ids — its polls ignore unknown jobs — so the
+        // ledger books them separately. Synthetic mixes are sized to the
+        // run length (~one arrival a minute at their default cadences).
+        let mut bg_src: Option<Box<dyn WorkloadSource>> = self.cfg.workload.as_ref().map(|w| {
+            w.build(run_seeds.seed_for("workload"), nodes, hours * 60)
+                .unwrap_or_else(|e| panic!("workload {w} failed to build: {e}"))
+        });
+        let mut bg_ids: BTreeSet<JobId> = BTreeSet::new();
+
         // Forking a barrier only pays when the rayon pool actually has a
         // second worker. On a 1-thread pool `rayon::join` degrades to
         // inline calls, so the fork would spend its staging/absorb
@@ -963,6 +1029,16 @@ impl Campaign {
                 let staged_poll = self.tracer.stage();
 
                 wm.launcher_mut().set_tracer(staged_fault.clone());
+                // Background arrivals drain before the fault phase — the
+                // same statement position as the serial body, so the
+                // staged-fault sink absorbs their submit traces in the
+                // identical order.
+                if let Some(src) = bg_src.as_deref_mut() {
+                    while let Some(job) = src.pop_due(t) {
+                        bg_ids.insert(wm.launcher_mut().submit(job.spec, job.at));
+                        ledger.background_submitted += 1;
+                    }
+                }
                 apply_due_attrition(
                     t,
                     &mut failures,
@@ -1145,6 +1221,17 @@ impl Campaign {
                     wm.add_frame_candidates_from(&mut point_buf);
                 }
 
+                // Background workload arrivals due by now, submitted at
+                // their own timestamps (== `t` under event-driven advance;
+                // possibly earlier under a ticked sweep, which the engine
+                // inbox handles like any late ingestion).
+                if let Some(src) = bg_src.as_deref_mut() {
+                    while let Some(job) = src.pop_due(t) {
+                        bg_ids.insert(wm.launcher_mut().submit(job.spec, job.at));
+                        ledger.background_submitted += 1;
+                    }
+                }
+
                 // Hardware attrition: the failure process decides which nodes
                 // die and when; the driver applies each arrival at the wakeup
                 // that covers it. Flux drains the node and the trackers
@@ -1229,6 +1316,17 @@ impl Campaign {
                         ledger.t_failed += tt.failed;
                         ledger.t_timed_out += tt.timed_out;
                         ledger.t_lost_in_crash += tt.live;
+                        // Background jobs die with the incarnation's
+                        // engine: book terminal states here (live ones are
+                        // already inside the `totals()` above).
+                        for &id in &bg_ids {
+                            match wm.launcher().state(id) {
+                                Some(JobState::Completed) => ledger.background_completed += 1,
+                                Some(JobState::Failed) => ledger.background_failed += 1,
+                                _ => {}
+                            }
+                        }
+                        bg_ids.clear();
                         run_profiler.merge(wm.profiler());
                         run_cg_tl.merge(wm.cg_timeline());
                         run_aa_tl.merge(wm.aa_timeline());
@@ -1253,6 +1351,11 @@ impl Campaign {
                             Costs::summit_campaign(),
                         );
                         engine.set_tracer(self.tracer.clone());
+                        engine.set_sched_policy(self.cfg.sched_policy);
+                        engine.set_legacy_fcfs(self.cfg.legacy_sched);
+                        if self.cfg.record_jobs {
+                            engine.set_recording(true);
+                        }
                         let cfg2 = WmConfig {
                             seed: run_seeds.seed_for(&format!("wm-crash-{wm_crashes}")),
                             ..wm_cfg_base.clone()
@@ -1342,8 +1445,8 @@ impl Campaign {
                     }
                     // Next-event time advance: jump straight to the safe
                     // horizon — the earliest instant anything can happen,
-                    // under the documented tie-break (snapshot, failure,
-                    // chaos, WM) — clamped so the run still closes with a
+                    // under the documented tie-break (snapshot, workload,
+                    // failure, chaos, WM) — clamped so the run closes with a
                     // final pass exactly at `end`. Every source returns a
                     // wakeup strictly after `t` once its due work is
                     // drained; a stale (already-past) horizon is a source
@@ -1352,6 +1455,7 @@ impl Campaign {
                     // clamp), and fatal under debug.
                     let horizon = driver::next_horizon(
                         next_snapshot,
+                        bg_src.as_deref().and_then(|s| s.next_at()),
                         failures.next_at(),
                         plan_q.peek_time(),
                         wm.next_wakeup(t),
@@ -1428,6 +1532,13 @@ impl Campaign {
             ledger.t_failed += tt.failed;
             ledger.t_timed_out += tt.timed_out;
             ledger.t_live_end += tt.live;
+            for &id in &bg_ids {
+                match wm.launcher().state(id) {
+                    Some(JobState::Completed) => ledger.background_completed += 1,
+                    Some(JobState::Failed) => ledger.background_failed += 1,
+                    _ => {}
+                }
+            }
             ledger.monotonic_violations = watch.violations();
         }
         debug_assert!(
@@ -1447,6 +1558,11 @@ impl Campaign {
         };
         let peak = run_cg_tl.peak_running() + run_aa_tl.peak_running();
         let wm_stats = wm.stats();
+        let class_waits = wm.launcher().class_waits();
+        let job_log = wm
+            .launcher_mut()
+            .take_log()
+            .map(|log| workload::TraceFile::from_sched_log(&log).to_csv());
         let report = RunReport {
             nodes,
             hours: executed_hours,
@@ -1470,6 +1586,8 @@ impl Campaign {
             driver_iterations,
             forced_advances,
             paused_at,
+            class_waits,
+            job_log,
         };
         if let Some(p) = paused_at {
             self.tracer.instant_at(

@@ -52,6 +52,17 @@ pub struct RunLedger {
     /// Continuum jobs crashed by node failures (counted in `failed` but
     /// invisible to the trackers, which never owned them).
     pub continuum_failed: u64,
+
+    /// Background-workload jobs the driver submitted outside the trackers
+    /// (trace replays and adversarial synthetic mixes).
+    pub background_submitted: u64,
+    /// Background jobs that completed successfully (counted in
+    /// `completed`, invisible to the trackers).
+    pub background_completed: u64,
+    /// Background jobs that failed — job faults or node-crash victims
+    /// (counted in `failed`, invisible to the trackers).
+    pub background_failed: u64,
+
     /// Lifetime counters observed to decrease during the run (must be 0).
     pub monotonic_violations: u64,
 }
@@ -100,19 +111,31 @@ impl RunLedger {
             ),
         );
         ck(
-            self.submitted == self.t_submitted + self.continuum_submitted,
+            self.submitted
+                == self.t_submitted + self.continuum_submitted + self.background_submitted,
             format!(
                 "submission reconciliation: scheduler saw {} but trackers submitted {} \
-                 + {} continuum",
-                self.submitted, self.t_submitted, self.continuum_submitted
+                 + {} continuum + {} background",
+                self.submitted,
+                self.t_submitted,
+                self.continuum_submitted,
+                self.background_submitted
             ),
         );
         ck(
-            self.failed == self.t_failed + self.undelivered_failed + self.continuum_failed,
+            self.failed
+                == self.t_failed
+                    + self.undelivered_failed
+                    + self.continuum_failed
+                    + self.background_failed,
             format!(
                 "failure reconciliation: scheduler counted {} but trackers observed {} \
-                 (+ {} undelivered at crash, + {} continuum)",
-                self.failed, self.t_failed, self.undelivered_failed, self.continuum_failed
+                 (+ {} undelivered at crash, + {} continuum, + {} background)",
+                self.failed,
+                self.t_failed,
+                self.undelivered_failed,
+                self.continuum_failed,
+                self.background_failed
             ),
         );
         ck(
@@ -130,12 +153,23 @@ impl RunLedger {
             ),
         );
         ck(
-            self.t_completed <= self.completed
-                && self.completed - self.t_completed <= self.continuum_submitted,
+            self.t_completed + self.background_completed <= self.completed
+                && self.completed - self.t_completed - self.background_completed
+                    <= self.continuum_submitted,
             format!(
                 "completion reconciliation: scheduler completed {} vs trackers {} \
-                 ({} continuum submitted)",
-                self.completed, self.t_completed, self.continuum_submitted
+                 + background {} ({} continuum submitted)",
+                self.completed,
+                self.t_completed,
+                self.background_completed,
+                self.continuum_submitted
+            ),
+        );
+        ck(
+            self.background_completed + self.background_failed <= self.background_submitted,
+            format!(
+                "background bound: completed {} + failed {} > submitted {}",
+                self.background_completed, self.background_failed, self.background_submitted
             ),
         );
         ck(
@@ -204,14 +238,17 @@ mod tests {
             live_end: 20,
             lost_in_crash: 5,
             undelivered_failed: 2,
-            t_submitted: 97,
-            t_completed: 58,
-            t_failed: 8,
+            t_submitted: 95,
+            t_completed: 57,
+            t_failed: 7,
             t_timed_out: 5,
             t_live_end: 19,
             t_lost_in_crash: 7,
             continuum_submitted: 3,
             continuum_failed: 0,
+            background_submitted: 2,
+            background_completed: 1,
+            background_failed: 1,
             monotonic_violations: 0,
         }
     }

@@ -46,6 +46,7 @@ use campaign::{Campaign, RunControl};
 use chaos::WorkerKillPlan;
 use mummi_core::WmCheckpoint;
 use resources::MachineSpec;
+use sched::{ClassWait, JobClass};
 use simcore::SimTime;
 use trace::{Json, Tracer};
 
@@ -134,6 +135,9 @@ pub struct CampaignStatus {
     pub traced: bool,
     /// Events logged so far.
     pub events: u64,
+    /// Per-class queue-wait aggregates, merged over kept legs (sorted by
+    /// class, so the wire form is deterministic).
+    pub class_waits: Vec<(JobClass, ClassWait)>,
 }
 
 impl CampaignStatus {
@@ -144,7 +148,7 @@ impl CampaignStatus {
 }
 
 /// Farm-wide counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FarmStats {
     /// Campaigns accepted.
     pub submitted: u64,
@@ -167,6 +171,9 @@ pub struct FarmStats {
     pub workers_spawned: u64,
     /// Workers currently alive.
     pub workers_alive: u64,
+    /// Per-class queue-wait aggregates merged across every campaign's
+    /// kept legs (sorted by class).
+    pub class_waits: Vec<(JobClass, ClassWait)>,
 }
 
 struct Entry {
@@ -189,6 +196,7 @@ struct Entry {
     node_hours: u64,
     recoveries: u64,
     ledger_ok: bool,
+    class_waits: BTreeMap<JobClass, ClassWait>,
     paused_by_user: bool,
     /// First-leg scheduled pause still pending (virtual hours).
     scheduled_pause: Option<u64>,
@@ -229,6 +237,7 @@ impl Entry {
             ledger_ok: self.ledger_ok,
             traced: self.spec.trace,
             events: self.events.len() as u64,
+            class_waits: self.class_waits.iter().map(|(c, w)| (*c, *w)).collect(),
         }
     }
 }
@@ -364,6 +373,7 @@ impl Farm {
             node_hours: 0,
             recoveries: 0,
             ledger_ok: true,
+            class_waits: BTreeMap::new(),
             paused_by_user: false,
             scheduled_pause: spec.pause_at_hours,
             pending_rescale: None,
@@ -530,6 +540,15 @@ impl Farm {
     /// Farm-wide counters.
     pub fn stats(&self) -> FarmStats {
         let inner = self.state.inner.lock().unwrap();
+        let mut class_waits: BTreeMap<JobClass, ClassWait> = BTreeMap::new();
+        for entry in inner.entries.values() {
+            for (class, wait) in &entry.class_waits {
+                let agg = class_waits.entry(*class).or_default();
+                agg.count += wait.count;
+                agg.sum_us += wait.sum_us;
+                agg.max_us = agg.max_us.max(wait.max_us);
+            }
+        }
         FarmStats {
             submitted: inner.next_id - 1,
             completed: inner
@@ -544,6 +563,7 @@ impl Farm {
             recoveries: inner.entries.values().map(|e| e.recoveries).sum(),
             workers_spawned: inner.next_worker as u64,
             workers_alive: inner.workers.values().filter(|w| w.alive).count() as u64,
+            class_waits: class_waits.into_iter().collect(),
         }
     }
 
@@ -760,6 +780,12 @@ fn settle(
     entry.placed += report.placed;
     entry.sims_completed += report.sims_completed;
     entry.node_hours += report.node_hours;
+    for (class, wait) in &report.class_waits {
+        let agg = entry.class_waits.entry(*class).or_default();
+        agg.count += wait.count;
+        agg.sum_us += wait.sum_us;
+        agg.max_us = agg.max_us.max(wait.max_us);
+    }
     if !report.ledger.check().is_empty() {
         entry.ledger_ok = false;
     }

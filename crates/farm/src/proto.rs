@@ -13,8 +13,9 @@ use std::collections::BTreeMap;
 
 use campaign::{CampaignConfig, StoreBackend};
 use resources::MatchPolicy;
-use sched::Coupling;
+use sched::{Coupling, SchedPolicy};
 use trace::Json;
+use workload::WorkloadSpec;
 
 /// A parsed campaign submission.
 #[derive(Debug, Clone)]
@@ -132,6 +133,16 @@ fn apply_override(cfg: &mut CampaignConfig, key: &str, v: &Json) -> Result<(), S
         "store" => {
             cfg.store_backend = StoreBackend::parse(string()?)
                 .ok_or_else(|| format!("unknown store backend {:?}", string().unwrap()))?
+        }
+        "sched_policy" => {
+            cfg.sched_policy = SchedPolicy::parse(string()?)
+                .ok_or_else(|| format!("unknown sched_policy {:?}", string().unwrap()))?
+        }
+        "workload" => {
+            cfg.workload = Some(
+                WorkloadSpec::parse(string()?)
+                    .ok_or_else(|| format!("unknown workload {:?}", string().unwrap()))?,
+            )
         }
         other => return Err(format!("unknown config key {other:?}")),
     }
@@ -279,6 +290,41 @@ mod tests {
         assert_eq!(spec.cfg.coupling, Coupling::Asynchronous);
         assert_eq!(spec.cfg.aa_target_ns, (5.0, 8.0));
         assert_eq!(spec.cfg.store_backend, StoreBackend::Loopback);
+    }
+
+    #[test]
+    fn sched_policy_and_workload_overrides_round_trip() {
+        let line = r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]],
+                       "config": {"sched_policy": "fair-share", "workload": "bursty"}}"#;
+        let Request::Submit(spec) = Request::decode(&line.replace('\n', " ")).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(spec.cfg.sched_policy, SchedPolicy::FairShare);
+        assert_eq!(spec.cfg.workload, Some(WorkloadSpec::Bursty));
+
+        let line = r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]],
+                       "config": {"workload": "trace:runs/day1.csv"}}"#;
+        let Request::Submit(spec) = Request::decode(&line.replace('\n', " ")).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(
+            spec.cfg.workload,
+            Some(WorkloadSpec::Trace("runs/day1.csv".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_sched_policy_and_workload_bounce() {
+        let e = Request::decode(
+            r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "config": {"sched_policy": "sjf"}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown sched_policy \"sjf\""), "{e}");
+        let e = Request::decode(
+            r#"{"op": "submit", "tenant": "a", "schedule": [[5, 2]], "config": {"workload": "tsunami"}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown workload \"tsunami\""), "{e}");
     }
 
     #[test]

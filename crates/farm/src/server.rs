@@ -51,6 +51,15 @@ pub fn status_json(s: &CampaignStatus) -> Json {
     map.insert("ledger_ok".into(), Json::Bool(s.ledger_ok));
     map.insert("traced".into(), Json::Bool(s.traced));
     map.insert("events".into(), Json::Num(s.events as f64));
+    let mut waits = std::collections::BTreeMap::new();
+    for (class, w) in &s.class_waits {
+        let mut row = std::collections::BTreeMap::new();
+        row.insert("count".into(), Json::Num(w.count as f64));
+        row.insert("mean_wait_us".into(), Json::Num(w.mean_us() as f64));
+        row.insert("max_wait_us".into(), Json::Num(w.max_us as f64));
+        waits.insert(class.label().to_string(), Json::Obj(row));
+    }
+    map.insert("class_waits".into(), Json::Obj(waits));
     Json::Obj(map)
 }
 
@@ -68,6 +77,15 @@ fn stats_json(s: &FarmStats) -> Json {
         Json::Num(s.workers_spawned as f64),
     );
     map.insert("workers_alive".into(), Json::Num(s.workers_alive as f64));
+    let mut waits = std::collections::BTreeMap::new();
+    for (class, w) in &s.class_waits {
+        let mut row = std::collections::BTreeMap::new();
+        row.insert("count".into(), Json::Num(w.count as f64));
+        row.insert("mean_wait_us".into(), Json::Num(w.mean_us() as f64));
+        row.insert("max_wait_us".into(), Json::Num(w.max_us as f64));
+        waits.insert(class.label().to_string(), Json::Obj(row));
+    }
+    map.insert("class_waits".into(), Json::Obj(waits));
     Json::Obj(map)
 }
 

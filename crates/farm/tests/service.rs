@@ -221,6 +221,63 @@ fn worker_kills_recover_from_checkpoints_with_conserved_ledgers() {
 }
 
 #[test]
+fn two_tenants_under_fair_share_report_per_class_queue_waits() {
+    // Two tenants on the fair-share scheduler policy: the wire status and
+    // farm-wide stats must both carry the per-class queue-wait
+    // aggregates the engine collected, so operators can see which class
+    // a policy is starving without reading traces.
+    let (_farm, server, mut client) = start_server(2, WorkerKillPlan::empty());
+    let mut ids = Vec::new();
+    for (tenant, seed) in [("alice", 11u64), ("bob", 12)] {
+        let id = client
+            .submit_line(&format!(
+                r#"{{"op": "submit", "tenant": "{tenant}", "schedule": [[10, 4]], "config": {}}}"#,
+                cfg_wire(seed).replacen('{', r#"{"sched_policy": "fair-share", "#, 1)
+            ))
+            .expect("submit");
+        ids.push(id);
+    }
+    let mut total_count = 0.0;
+    for id in ids {
+        client.wait_done(id).expect("completion");
+        let status = client.status(id).expect("status");
+        assert_eq!(status.get("ledger_ok"), Some(&Json::Bool(true)));
+        let waits = status
+            .get("class_waits")
+            .and_then(Json::as_obj)
+            .expect("status carries class_waits");
+        assert!(!waits.is_empty(), "fair-share run placed nothing");
+        for (class, row) in waits {
+            let count = row.get("count").and_then(Json::as_f64).unwrap();
+            let mean = row.get("mean_wait_us").and_then(Json::as_f64).unwrap();
+            let max = row.get("max_wait_us").and_then(Json::as_f64).unwrap();
+            assert!(count > 0.0, "{class}: empty aggregate row");
+            assert!(mean <= max, "{class}: mean wait exceeds max");
+            total_count += count;
+        }
+        // The WM stream always carries its continuum job and CG sims.
+        assert!(waits.contains_key("continuum"), "continuum wait missing");
+        assert!(waits.contains_key("cg-sim"), "cg-sim wait missing");
+    }
+
+    // Farm-wide stats merge both tenants' aggregates.
+    let stats = client.stats().expect("stats");
+    let merged = stats
+        .get("class_waits")
+        .and_then(Json::as_obj)
+        .expect("stats carries class_waits");
+    let merged_count: f64 = merged
+        .values()
+        .map(|row| row.get("count").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert_eq!(
+        merged_count, total_count,
+        "farm stats must sum both tenants' placements"
+    );
+    server.stop();
+}
+
+#[test]
 fn service_smoke_and_strict_wire_rejection() {
     let (farm, server, mut client) = start_server(2, WorkerKillPlan::empty());
     client.ping().expect("ping");

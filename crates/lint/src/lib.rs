@@ -239,9 +239,11 @@ pub const COORDINATION_CRATES: &[&str] = &["sched", "mummi-core", "campaign", "d
 
 /// Crates whose non-test code must not use order-nondeterministic
 /// containers (L3). `taridx` and `datastore` are here because listing
-/// order leaks through `DataStore::list` into feedback folds, and `trace`
+/// order leaks through `DataStore::list` into feedback folds, `trace`
 /// because the tracer's byte-identical-output guarantee is itself the
-/// determinism regression detector.
+/// determinism regression detector, and `workload` because its
+/// generators promise seed-stable, cadence-invariant arrival streams —
+/// an unordered map anywhere in a draw path would break replay.
 pub const ORDERED_CRATES: &[&str] = &[
     "sched",
     "mummi-core",
@@ -251,6 +253,7 @@ pub const ORDERED_CRATES: &[&str] = &[
     "datastore",
     "trace",
     "chaos",
+    "workload",
 ];
 
 /// Crates whose non-test code must be free of shared-mutable-state

@@ -461,6 +461,76 @@ impl ResourceGraph {
         Some(Alloc { slices: found })
     }
 
+    /// Aggregate free capacity over *undrained* nodes:
+    /// `(nodes, gpus, cores)`. This is the optimistic resource profile the
+    /// scheduler's backfill reservation estimator starts from — counts are
+    /// necessary but not sufficient for a placement (fragmentation and
+    /// affinity can still fail), so an estimate built on them is a lower
+    /// bound on any real fit time.
+    pub fn free_totals(&self) -> (u64, u64, u64) {
+        let mut nodes = 0u64;
+        let mut gpus = 0u64;
+        let mut cores = 0u64;
+        for n in &self.nodes {
+            if n.drained {
+                continue;
+            }
+            nodes += 1;
+            gpus += n.free_gpus.count_ones() as u64;
+            cores += n.free_cores.count_ones() as u64;
+        }
+        (nodes, gpus, cores)
+    }
+
+    /// Attempts to allocate `shape` using only nodes in `[lo, hi)` — the
+    /// placement primitive for hierarchical scheduling, where a parent
+    /// instance partitions the machine across child schedulers and each
+    /// child matches inside its own node range (Flux-style instances).
+    ///
+    /// The scan is a plain lowest-ID-first walk of the range: the per-shape
+    /// scan hints and the segment-tree descent both index the whole
+    /// machine, so a range match bypasses them and charges the span it
+    /// actually inspected (the full range under
+    /// [`MatchPolicy::LowIdExhaustive`], mirroring the modeled Flux
+    /// traversal of a child instance's graph).
+    pub fn try_alloc_range(
+        &mut self,
+        shape: &JobShape,
+        policy: MatchPolicy,
+        lo: usize,
+        hi: usize,
+    ) -> Option<Alloc> {
+        let hi = hi.min(self.nodes.len());
+        let want = shape.nodes as usize;
+        if want == 0 {
+            self.visited_last = 0;
+            return Some(Alloc { slices: vec![] });
+        }
+        let exhaustive = policy == MatchPolicy::LowIdExhaustive;
+        let mut found: Vec<NodeAlloc> = Vec::with_capacity(want);
+        let mut visited = 0u64;
+        for id in lo..hi {
+            if !exhaustive && found.len() == want {
+                break;
+            }
+            visited += 1;
+            if found.len() < want {
+                if let Some(slice) = self.match_node(id as NodeId, shape) {
+                    found.push(slice);
+                }
+            }
+        }
+        self.visited_last = visited;
+        self.visited_total += visited;
+        if found.len() < want {
+            return None;
+        }
+        for slice in &found {
+            self.commit(slice);
+        }
+        Some(Alloc { slices: found })
+    }
+
     /// Releases an allocation obtained from [`ResourceGraph::try_alloc`].
     ///
     /// # Panics
@@ -836,6 +906,77 @@ mod tests {
         assert_eq!(lowest_bits_u64(0b1011, 2), Some(0b0011));
         assert_eq!(lowest_bits_u64(0b1000, 2), None);
         assert_eq!(lowest_bits_u8(0b110, 1), Some(0b010));
+    }
+
+    #[test]
+    fn free_totals_track_usage_and_drains() {
+        let mut g = small(3);
+        let spec = NodeSpec::summit();
+        let per_node_cores = spec.cores() as u64;
+        assert_eq!(g.free_totals(), (3, 18, 3 * per_node_cores));
+        let a = g
+            .try_alloc(&JobShape::sim_standard(), MatchPolicy::FirstMatch)
+            .unwrap();
+        let (n, gp, c) = g.free_totals();
+        assert_eq!((n, gp), (3, 17));
+        assert_eq!(c, 3 * per_node_cores - 2);
+        g.drain(2);
+        let (n, gp, _) = g.free_totals();
+        assert_eq!((n, gp), (2, 11), "drained node drops out wholesale");
+        g.release(&a);
+        assert_eq!(g.free_totals().1, 12);
+    }
+
+    #[test]
+    fn range_alloc_stays_inside_its_partition() {
+        let mut g = small(4);
+        // The [2, 4) child owns the high nodes: six sims fill node 2, the
+        // seventh lands on node 3, and nodes 0-1 stay untouched.
+        let mut allocs = Vec::new();
+        for _ in 0..7 {
+            allocs.push(
+                g.try_alloc_range(&JobShape::sim_standard(), MatchPolicy::FirstMatch, 2, 4)
+                    .unwrap(),
+            );
+        }
+        assert!(allocs[..6].iter().all(|a| a.slices[0].node == 2));
+        assert_eq!(allocs[6].slices[0].node, 3);
+        // A 3-node shape cannot fit in a 2-node partition even though the
+        // whole machine could host it.
+        assert!(g
+            .try_alloc_range(&JobShape::continuum(3), MatchPolicy::FirstMatch, 2, 4)
+            .is_none());
+        assert_eq!(
+            g.free_totals().1,
+            24 - 7,
+            "nothing held by the failed range match"
+        );
+        // The other child's range is still all-free.
+        let b = g
+            .try_alloc_range(&JobShape::continuum(2), MatchPolicy::FirstMatch, 0, 2)
+            .unwrap();
+        assert_eq!(b.slices.len(), 2);
+        assert!(b.slices.iter().all(|s| s.node < 2));
+    }
+
+    #[test]
+    fn range_alloc_visit_accounting() {
+        let mut g = small(10);
+        g.try_alloc_range(&JobShape::sim_standard(), MatchPolicy::FirstMatch, 4, 10)
+            .unwrap();
+        assert_eq!(g.visited_last(), 1, "first-match stops at node 4");
+        g.try_alloc_range(
+            &JobShape::sim_standard(),
+            MatchPolicy::LowIdExhaustive,
+            4,
+            10,
+        )
+        .unwrap();
+        assert_eq!(g.visited_last(), 6, "exhaustive walks the whole range");
+        g.drain(4);
+        g.try_alloc_range(&JobShape::sim_standard(), MatchPolicy::FirstMatch, 4, 10)
+            .unwrap();
+        assert_eq!(g.visited_last(), 2, "drained node is visited but skipped");
     }
 
     #[test]

@@ -1,13 +1,24 @@
 //! The scheduling engine: queue manager (Q) + resource matcher (R).
+//!
+//! Queue ordering and backfill decisions live in the [`SchedPolicy`]
+//! layer (`policy.rs`); this module owns the service-time mechanics
+//! (ingest/match costs, coupling, completions) and executes whichever
+//! candidate the policy nominates. The FCFS path is byte-identical to
+//! the pre-policy-zoo engine, and that engine's monolithic service loop
+//! is retained verbatim behind [`SchedEngine::set_legacy_fcfs`] as the
+//! differential oracle (mirroring the linear-scan oracle kept for the
+//! indexed matcher).
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
-use resources::{Alloc, MatchPolicy, ResourceGraph};
+use resources::{Alloc, JobShape, MatchPolicy, ResourceGraph};
 use simcore::{SimDuration, SimTime};
 use trace::Tracer;
 
 use crate::job::{JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState, TrackedState};
+use crate::policy::SchedPolicy;
+use crate::replay::SchedLog;
 
 /// How Q and R communicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +80,29 @@ pub struct SchedStats {
     pub canceled: u64,
     /// Matcher invocations that found no placement.
     pub match_misses: u64,
+    /// Placements taken from behind a blocked head by a backfill policy
+    /// (always zero under FCFS, fair-share, and hierarchical).
+    pub backfills: u64,
+}
+
+/// Queue-wait aggregates for one job class: always collected, cheap to
+/// keep (three words per class). Full per-placement samples for p50/p99
+/// percentiles are opt-in via [`SchedEngine::collect_wait_samples`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassWait {
+    /// Placements of this class.
+    pub count: u64,
+    /// Sum of queue waits (ready → placed) in microseconds.
+    pub sum_us: u64,
+    /// Largest single queue wait in microseconds.
+    pub max_us: u64,
+}
+
+impl ClassWait {
+    /// Mean queue wait in microseconds (0 when nothing placed).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
 }
 
 #[derive(Debug)]
@@ -86,7 +120,94 @@ struct JobRecord {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Action {
     Ingest,
-    Match,
+    /// Match the job at this queue position (0 = head; backfill and
+    /// fair-share/hierarchical policies may nominate deeper positions).
+    Match(usize),
+}
+
+/// Backfill lookahead: how many queued jobs get reservation estimates.
+/// A conservative backfill candidate deeper than this cannot prove it
+/// delays nobody, so the scan stops there; EASY only needs the head's
+/// estimate and scans the whole queue.
+const BF_WINDOW: usize = 64;
+
+/// Reservation state cached while the head of the queue is blocked under
+/// a backfill policy. Rebuilt lazily on every head miss and after every
+/// backfill placement (queue positions shift), and dropped by any
+/// release, node failure, or queue cancellation.
+#[derive(Debug)]
+struct BackfillState {
+    /// `prefix[i]` = minimum estimated earliest start over queue
+    /// positions `0..=i`. `None` means every job in that prefix is
+    /// unsatisfiable even on an idle machine (an infinite bound — there
+    /// is nothing a backfill could delay).
+    prefix: Vec<Option<SimTime>>,
+    /// Next queue position the backfill scan considers; misses advance
+    /// it so one blocked episode charges each candidate at most once.
+    cursor: usize,
+    /// Aggregate free `(nodes, gpus, cores)` when the state was built —
+    /// the cheap feasibility screen a candidate must pass before the
+    /// matcher is charged a graph traversal for it.
+    free: (u64, u64, u64),
+}
+
+/// Minimum of two "estimated start" bounds where `None` = infinity.
+fn min_bound(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// Earliest time `shape` could fit in the *aggregate* resource profile:
+/// current free totals plus scheduled releases in time order. Aggregate
+/// counts are necessary but not sufficient for a real placement
+/// (fragmentation, affinity), so the estimate is a lower bound on any
+/// real fit time — which is exactly the direction backfill safety needs:
+/// a job that ends by this estimate cannot delay the estimated job.
+/// `None` means the demand exceeds even the fully-released machine
+/// (assuming the drained set stays as it is).
+fn estimate_start(
+    shape: &JobShape,
+    free: (u64, u64, u64),
+    releases: &[(SimTime, JobId, u64, u64)],
+) -> Option<SimTime> {
+    let need_nodes = shape.nodes as u64;
+    let need_g = shape.nodes as u64 * shape.gpus_per_node as u64;
+    let need_c = shape.nodes as u64 * shape.cores_per_node as u64;
+    if free.0 < need_nodes {
+        return None;
+    }
+    let (mut g, mut c) = (free.1, free.2);
+    if g >= need_g && c >= need_c {
+        return Some(SimTime::ZERO);
+    }
+    for &(t, _, dg, dc) in releases {
+        g += dg;
+        c += dc;
+        if g >= need_g && c >= need_c {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Whether `shape` passes the aggregate-availability screen right now.
+fn feasible_now(shape: &JobShape, free: (u64, u64, u64)) -> bool {
+    free.0 >= shape.nodes as u64
+        && free.1 >= shape.nodes as u64 * shape.gpus_per_node as u64
+        && free.2 >= shape.nodes as u64 * shape.cores_per_node as u64
+}
+
+/// Which hierarchical child instance a class routes to: GPU classes on
+/// child 0 (the low node range), CPU classes on child 1 (the high range).
+fn hier_child(class: JobClass) -> usize {
+    if class.uses_gpu() {
+        0
+    } else {
+        1
+    }
 }
 
 /// The single-user workload manager (see crate docs).
@@ -94,8 +215,12 @@ enum Action {
 pub struct SchedEngine {
     graph: ResourceGraph,
     policy: MatchPolicy,
+    sched_policy: SchedPolicy,
     coupling: Coupling,
     costs: Costs,
+    /// Route `advance`/`next_wakeup` through the retained pre-refactor
+    /// monolith (FCFS only) — the differential oracle.
+    legacy_fcfs: bool,
     next_id: u64,
     /// Ordered by id so any iteration visits jobs in submission order —
     /// part of the determinism contract (no HashMap iteration in
@@ -105,6 +230,10 @@ pub struct SchedEngine {
     /// Submissions not yet ingested by Q: (submit time, id).
     inbox: VecDeque<(SimTime, JobId)>,
     /// Ingested jobs in FCFS order: (time the job entered the queue, id).
+    /// Every policy keeps this queue in ingestion (= submission) order;
+    /// policies differ only in which *position* they nominate next, so
+    /// equal-priority ties always break by submission sequence, never by
+    /// map iteration order.
     ready: VecDeque<(SimTime, JobId)>,
     /// Scheduled resource releases: (finish time, id).
     completions: BinaryHeap<Reverse<(SimTime, JobId)>>,
@@ -112,8 +241,23 @@ pub struct SchedEngine {
     q_free_at: SimTime,
     /// R server availability (asynchronous coupling only).
     r_free_at: SimTime,
-    /// FCFS head failed to match; wait for a release before retrying.
+    /// The policy's primary candidate failed to match; wait for a release
+    /// before retrying (FCFS/backfill: the queue head; fair-share: the
+    /// least-consumed class head).
     head_blocked: bool,
+    /// Backfill reservation state, present iff `head_blocked` under a
+    /// backfill policy.
+    bf: Option<BackfillState>,
+    /// Hierarchical per-child blocked flags (GPU child, CPU child).
+    h_blocked: [bool; 2],
+    /// First node of the CPU child's range under the hierarchical
+    /// policy: GPU classes match in `[0, hier_split)`, CPU classes in
+    /// `[hier_split, nodes)`.
+    hier_split: usize,
+    /// Fair-share accounting: node-microseconds consumed per class,
+    /// accrued when resources are *released* (completion, crash). A
+    /// cancel carries no timestamp, so canceled holds accrue nothing.
+    consumed: BTreeMap<JobClass, u128>,
     /// (running, pending) per class, iterated in class order.
     class_counts: BTreeMap<JobClass, (u64, u64)>,
     /// Every job currently in [`JobState::Running`] (hung jobs included),
@@ -128,6 +272,17 @@ pub struct SchedEngine {
     /// still-drained node is a no-op instead of double-counting.
     failed_nodes: BTreeSet<resources::NodeId>,
     stats: SchedStats,
+    /// Per-class queue-wait aggregates (count, sum, max) for every
+    /// placement.
+    wait_by_class: BTreeMap<JobClass, ClassWait>,
+    /// Full queue-wait samples in placement order, opt-in (benchmarks
+    /// need percentiles; campaigns keep this off).
+    wait_samples: Option<Vec<u64>>,
+    /// (backfilled job, head it was backfilled around), opt-in — the
+    /// instrumentation behind the "EASY never delays the head" proptest.
+    bf_pairs: Option<Vec<(JobId, JobId)>>,
+    /// Opt-in submission/cancel/fail log (§4.4 history files).
+    recorder: Option<SchedLog>,
     /// Events produced outside `advance` (e.g. node failures), delivered
     /// on the next poll.
     pending_events: Vec<JobEvent>,
@@ -136,18 +291,24 @@ pub struct SchedEngine {
 }
 
 impl SchedEngine {
-    /// Creates an engine over `graph` with the given policies.
+    /// Creates an engine over `graph` with the given placement policy and
+    /// coupling. The queue policy defaults to [`SchedPolicy::Fcfs`]; set
+    /// another member of the zoo with [`SchedEngine::set_sched_policy`]
+    /// before submitting work.
     pub fn new(
         graph: ResourceGraph,
         policy: MatchPolicy,
         coupling: Coupling,
         costs: Costs,
     ) -> SchedEngine {
+        let nodes = graph.spec().nodes as usize;
         SchedEngine {
             graph,
             policy,
+            sched_policy: SchedPolicy::Fcfs,
             coupling,
             costs,
+            legacy_fcfs: false,
             next_id: 0,
             jobs: BTreeMap::new(),
             inbox: VecDeque::new(),
@@ -156,11 +317,22 @@ impl SchedEngine {
             q_free_at: SimTime::ZERO,
             r_free_at: SimTime::ZERO,
             head_blocked: false,
+            bf: None,
+            h_blocked: [false; 2],
+            // 3/4 of the machine to the GPU child, the rest to the CPU
+            // child (sims dominate the mix; setup/continuum work is the
+            // minority the hierarchy fences off).
+            hier_split: nodes - nodes / 4,
+            consumed: BTreeMap::new(),
             class_counts: BTreeMap::new(),
             running: BTreeSet::new(),
             residency: BTreeMap::new(),
             failed_nodes: BTreeSet::new(),
             stats: SchedStats::default(),
+            wait_by_class: BTreeMap::new(),
+            wait_samples: None,
+            bf_pairs: None,
+            recorder: None,
             pending_events: Vec::new(),
             tracer: Tracer::disabled(),
         }
@@ -170,6 +342,113 @@ impl SchedEngine {
     /// scheduling-service spans on it. The default handle is a no-op.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Selects the queue policy. Call before submitting work: switching
+    /// policies mid-stream is not part of the model (blocked-state and
+    /// reservation caches are policy-specific).
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched_policy = policy;
+        self.unblock();
+    }
+
+    /// The active queue policy.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched_policy
+    }
+
+    /// Routes service selection through the retained pre-refactor FCFS
+    /// monolith — the differential oracle for the policy split. Only
+    /// meaningful under [`SchedPolicy::Fcfs`]; same-seed runs must trace
+    /// byte-identically with this on or off.
+    pub fn set_legacy_fcfs(&mut self, on: bool) {
+        debug_assert!(
+            !on || self.sched_policy == SchedPolicy::Fcfs,
+            "the legacy path models FCFS only"
+        );
+        self.legacy_fcfs = on;
+    }
+
+    /// Whether the retained legacy FCFS path is active.
+    pub fn legacy_fcfs(&self) -> bool {
+        self.legacy_fcfs
+    }
+
+    /// Starts (or stops) recording submissions, cancels, and node
+    /// failures into a [`SchedLog`] — the paper's §4.4 replayable
+    /// history file. Off by default.
+    pub fn set_recording(&mut self, on: bool) {
+        if on {
+            if self.recorder.is_none() {
+                self.recorder = Some(SchedLog::new());
+            }
+        } else {
+            self.recorder = None;
+        }
+    }
+
+    /// The recorded log so far, if recording.
+    pub fn log(&self) -> Option<&SchedLog> {
+        self.recorder.as_ref()
+    }
+
+    /// Takes the recorded log, leaving recording on with a fresh log if
+    /// it was on.
+    pub fn take_log(&mut self) -> Option<SchedLog> {
+        let was_on = self.recorder.is_some();
+        let log = self.recorder.take();
+        if was_on {
+            self.recorder = Some(SchedLog::new());
+        }
+        log
+    }
+
+    /// Starts collecting one queue-wait sample per placement (for
+    /// percentile reporting in benchmarks). Off by default: the sample
+    /// vector grows with every placement.
+    pub fn collect_wait_samples(&mut self, on: bool) {
+        if on {
+            if self.wait_samples.is_none() {
+                self.wait_samples = Some(Vec::new());
+            }
+        } else {
+            self.wait_samples = None;
+        }
+    }
+
+    /// Queue-wait samples (microseconds) in placement order; empty when
+    /// collection is off.
+    pub fn wait_samples(&self) -> &[u64] {
+        self.wait_samples.as_deref().unwrap_or(&[])
+    }
+
+    /// Starts collecting (backfilled job, blocked head) pairs — proptest
+    /// instrumentation for the no-head-delay invariant. Off by default.
+    pub fn collect_backfill_pairs(&mut self, on: bool) {
+        if on {
+            if self.bf_pairs.is_none() {
+                self.bf_pairs = Some(Vec::new());
+            }
+        } else {
+            self.bf_pairs = None;
+        }
+    }
+
+    /// Recorded (backfilled job, head) pairs; empty when collection is
+    /// off.
+    pub fn backfill_pairs(&self) -> &[(JobId, JobId)] {
+        self.bf_pairs.as_deref().unwrap_or(&[])
+    }
+
+    /// Per-class queue-wait aggregates, in class order.
+    pub fn class_waits(&self) -> Vec<(JobClass, ClassWait)> {
+        self.wait_by_class.iter().map(|(&c, &w)| (c, w)).collect()
+    }
+
+    /// Node-microseconds consumed by a class so far (fair-share key;
+    /// accrued at release).
+    pub fn consumed_node_micros(&self, class: JobClass) -> u128 {
+        self.consumed.get(&class).copied().unwrap_or(0)
     }
 
     /// Simulates a compute-node failure at time `at`: the node is drained
@@ -184,6 +463,9 @@ impl SchedEngine {
         // (undrained) node is eligible to fail anew.
         if self.failed_nodes.contains(&node) && self.graph.is_drained(node) {
             return Vec::new();
+        }
+        if let Some(log) = &mut self.recorder {
+            log.record_fail_node(at, node);
         }
         self.failed_nodes.insert(node);
         self.graph.drain(node);
@@ -204,6 +486,11 @@ impl SchedEngine {
             }
             rec.state.advance_to(JobState::Failed);
             let class = rec.spec.class;
+            if let Some(placed) = rec.placed_at.take() {
+                let slices = alloc.as_ref().map_or(0, |a| a.slices.len()) as u128;
+                *self.consumed.entry(class).or_insert(0) +=
+                    at.since(placed).as_micros() as u128 * slices;
+            }
             self.unindex_running(id, class, alloc.as_ref());
             self.counts_mut(class).0 -= 1;
             self.stats.failed += 1;
@@ -213,8 +500,8 @@ impl SchedEngine {
                 success: false,
             });
         }
-        // Resources changed: the FCFS head may fit elsewhere now.
-        self.head_blocked = false;
+        // Resources changed: blocked candidates may fit elsewhere now.
+        self.unblock();
         self.tracer.instant_at(
             at,
             "sched",
@@ -306,6 +593,9 @@ impl SchedEngine {
     /// ingested, queued, and matched by subsequent [`SchedEngine::advance`]
     /// calls.
     pub fn submit(&mut self, spec: JobSpec, at: SimTime) -> JobId {
+        if let Some(log) = &mut self.recorder {
+            log.record_submit(at, &spec);
+        }
         let id = JobId(self.next_id);
         self.next_id += 1;
         let class = spec.class;
@@ -343,13 +633,22 @@ impl SchedEngine {
                 self.inbox.retain(|&(_, j)| j != id);
             }
             JobState::Queued => {
-                if self.ready.front().map(|&(_, j)| j) == Some(id) {
-                    self.head_blocked = false;
+                // FCFS unblocks only when the blocked head itself goes
+                // away (the pre-refactor behavior, kept byte-identical);
+                // the other policies hold per-position state, so any
+                // queue removal invalidates it.
+                if self.ready.front().map(|&(_, j)| j) == Some(id)
+                    || self.sched_policy != SchedPolicy::Fcfs
+                {
+                    self.unblock();
                 }
                 self.ready.retain(|&(_, j)| j != id);
             }
             JobState::Running => {}
             _ => return false,
+        }
+        if let Some(log) = &mut self.recorder {
+            log.record_cancel(id);
         }
         let Some(rec) = self.jobs.get_mut(&id) else {
             return false;
@@ -362,7 +661,7 @@ impl SchedEngine {
             }
             rec.state.advance_to(JobState::Canceled);
             self.unindex_running(id, class, alloc.as_ref());
-            self.head_blocked = false;
+            self.unblock();
         } else {
             rec.state.advance_to(JobState::Canceled);
         }
@@ -395,22 +694,18 @@ impl SchedEngine {
     /// contract is *no progress is possible before it*, not that work is
     /// guaranteed exactly at it.
     pub fn next_wakeup(&self) -> Option<SimTime> {
+        if self.legacy_fcfs {
+            return self.next_wakeup_legacy();
+        }
         let eps = SimDuration::from_micros(1);
         let completion = self.completions.peek().map(|Reverse((t, _))| *t);
         let ingest = self
             .inbox
             .front()
             .map(|&(sub_t, _)| self.q_free_at.max(sub_t) + eps);
-        let matcher = match (self.ready.front(), self.head_blocked) {
-            (Some(&(ready_at, _)), false) => {
-                let server = match self.coupling {
-                    Coupling::Synchronous => self.q_free_at,
-                    Coupling::Asynchronous => self.r_free_at,
-                };
-                Some(server.max(ready_at) + eps)
-            }
-            _ => None,
-        };
+        let matcher = self
+            .match_candidate()
+            .map(|(ready_at, _)| self.matcher_server().max(ready_at) + eps);
         [completion, ingest, matcher].into_iter().flatten().min()
     }
 
@@ -420,26 +715,208 @@ impl SchedEngine {
     /// before `now` may finish (and be reported) slightly after it.
     pub fn advance(&mut self, now: SimTime) -> Vec<JobEvent> {
         let mut events = std::mem::take(&mut self.pending_events);
-        // Retry a blocked FCFS head once per poll: resources may have
-        // changed outside the engine's view (undrained nodes, etc.).
-        self.head_blocked = false;
+        // Retry a blocked FCFS head once per poll (the legacy engine's
+        // behavior, kept byte-identical): resources may have changed
+        // outside the engine's view (undrained nodes, etc.). The other
+        // policies must NOT reset here — their blocked state is cleared
+        // by releases, failures, and cancels instead. Resetting on every
+        // advance lets a permanently-unplaceable candidate re-buy its
+        // match cost at every matcher wakeup: the nomination schedules a
+        // wakeup, the wakeup's advance clears the block and re-misses,
+        // and the loop walks virtual time in match-cost steps (observed
+        // as ~28M driver iterations for a 4-hour hierarchical run).
+        if self.sched_policy == SchedPolicy::Fcfs {
+            self.unblock();
+        }
         loop {
             let next_completion = self
                 .completions
                 .peek()
                 .map(|Reverse((t, _))| *t)
                 .filter(|&t| t <= now);
-            let next_service = self.next_service(now);
+            let next_service = if self.legacy_fcfs {
+                self.next_service_legacy(now)
+            } else {
+                self.next_service(now)
+            };
             match (next_completion, next_service) {
                 (None, None) => break,
                 (Some(tc), Some((ts, _))) if tc <= ts => self.run_completion(&mut events),
                 (Some(_), None) => self.run_completion(&mut events),
                 (None, Some((ts, act))) | (Some(_), Some((ts, act))) => {
-                    self.run_service(ts, act, &mut events)
+                    if self.legacy_fcfs {
+                        self.run_service_legacy(ts, act, &mut events)
+                    } else {
+                        self.run_service(ts, act, &mut events)
+                    }
                 }
             }
         }
         events
+    }
+
+    /// The matcher's service timeline under the active coupling.
+    fn matcher_server(&self) -> SimTime {
+        match self.coupling {
+            Coupling::Synchronous => self.q_free_at,
+            Coupling::Asynchronous => self.r_free_at,
+        }
+    }
+
+    /// The queue position the active policy nominates for the matcher,
+    /// with the time that job entered the queue. `None` when the policy
+    /// is blocked (nothing eligible until a release).
+    fn match_candidate(&self) -> Option<(SimTime, usize)> {
+        match self.sched_policy {
+            SchedPolicy::Fcfs => match (self.ready.front(), self.head_blocked) {
+                (Some(&(ready_at, _)), false) => Some((ready_at, 0)),
+                _ => None,
+            },
+            SchedPolicy::BackfillEasy | SchedPolicy::BackfillConservative => {
+                if !self.head_blocked {
+                    return self.ready.front().map(|&(t, _)| (t, 0));
+                }
+                let bf = self.bf.as_ref()?;
+                let conservative = self.sched_policy == SchedPolicy::BackfillConservative;
+                let server = self.matcher_server();
+                for pos in bf.cursor.max(1)..self.ready.len() {
+                    let limit = if conservative {
+                        if pos > bf.prefix.len() {
+                            // Beyond the reservation window nothing can be
+                            // proven safe; stop scanning.
+                            break;
+                        }
+                        bf.prefix[pos - 1]
+                    } else {
+                        bf.prefix.first().copied().flatten()
+                    };
+                    let (ready_at, id) = self.ready[pos];
+                    let Some(rec) = self.jobs.get(&id) else {
+                        continue;
+                    };
+                    // Safe to run out of order iff the candidate returns
+                    // everything it takes by the protected jobs' earliest
+                    // possible start. (Under modeled service costs the
+                    // dispatch/visit overhead after `t_start` is not
+                    // charged against the bound; under `Costs::free` the
+                    // comparison is exact — see `policy_props.rs`.)
+                    let t_start = server.max(ready_at);
+                    let time_ok = limit.is_none_or(|l| t_start + rec.spec.runtime <= l);
+                    if time_ok && feasible_now(&rec.spec.shape, bf.free) {
+                        return Some((ready_at, pos));
+                    }
+                }
+                None
+            }
+            SchedPolicy::FairShare => {
+                if self.head_blocked {
+                    return None;
+                }
+                // One queue walk: the first (oldest) position of each
+                // class, then the class with the least consumed
+                // node-time wins. Ties break by queue position — the
+                // submission sequence — never by class declaration
+                // order.
+                let mut seen: BTreeSet<JobClass> = BTreeSet::new();
+                let mut best: Option<(u128, usize, SimTime)> = None;
+                for (pos, &(ready_at, id)) in self.ready.iter().enumerate() {
+                    let Some(class) = self.jobs.get(&id).map(|r| r.spec.class) else {
+                        continue;
+                    };
+                    if !seen.insert(class) {
+                        continue;
+                    }
+                    let used = self.consumed.get(&class).copied().unwrap_or(0);
+                    if best.is_none_or(|(bu, bp, _)| (used, pos) < (bu, bp)) {
+                        best = Some((used, pos, ready_at));
+                    }
+                    if seen.len() >= 6 {
+                        break; // every class represented
+                    }
+                }
+                best.map(|(_, pos, ready_at)| (ready_at, pos))
+            }
+            SchedPolicy::Hierarchical => {
+                // Lowest queue position whose child instance is not
+                // blocked — a stuck wide CPU job never stalls GPU work.
+                for (pos, &(ready_at, id)) in self.ready.iter().enumerate() {
+                    let Some(class) = self.jobs.get(&id).map(|r| r.spec.class) else {
+                        continue;
+                    };
+                    if !self.h_blocked[hier_child(class)] {
+                        return Some((ready_at, pos));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The node range owned by a hierarchical child instance.
+    fn hier_range(&self, child: usize) -> (usize, usize) {
+        if child == 0 {
+            (0, self.hier_split)
+        } else {
+            (self.hier_split, self.graph.spec().nodes as usize)
+        }
+    }
+
+    /// Builds backfill reservation state: scheduled releases from the
+    /// completions heap (stale entries filtered by job state) plus
+    /// aggregate free totals, folded into earliest-start estimates for
+    /// the first [`BF_WINDOW`] queued jobs.
+    fn compute_bf_state(&self, cursor: usize) -> BackfillState {
+        let free = self.graph.free_totals();
+        let mut releases: Vec<(SimTime, JobId, u64, u64)> = self
+            .completions
+            .iter()
+            .filter_map(|&Reverse((t, id))| {
+                let rec = self.jobs.get(&id)?;
+                if rec.state.current() != JobState::Running || rec.hung {
+                    return None;
+                }
+                let alloc = rec.alloc.as_ref()?;
+                Some((t, id, alloc.gpus(), alloc.cores()))
+            })
+            .collect();
+        releases.sort_unstable_by_key(|&(t, id, _, _)| (t, id));
+        let mut prefix = Vec::new();
+        let mut run: Option<SimTime> = None;
+        for pos in 0..self.ready.len().min(BF_WINDOW) {
+            let (_, id) = self.ready[pos];
+            let mut est = self
+                .jobs
+                .get(&id)
+                .and_then(|rec| estimate_start(&rec.spec.shape, free, &releases));
+            if pos == 0 {
+                // A backfill episode only opens after the head fails a
+                // *real* topology match, so an aggregate estimate of
+                // "fits now" is fragmentation noise (enough cores in
+                // total, no node with a whole slice). The pool cannot
+                // grow before the first scheduled release, so that
+                // release is still a sound lower bound — without it the
+                // window collapses to zero width and both backfill
+                // policies silently degrade to FCFS. No pending release
+                // means no bound can be proven at all.
+                est = est.and_then(|t| releases.first().map(|&(r, ..)| t.max(r)));
+            }
+            run = if pos == 0 { est } else { min_bound(run, est) };
+            prefix.push(run);
+        }
+        BackfillState {
+            prefix,
+            cursor,
+            free,
+        }
+    }
+
+    /// Clears every policy's blocked state: a release, a repaired or
+    /// failed node, or a queue mutation may have changed what fits, and
+    /// cached backfill reservations are no longer valid.
+    fn unblock(&mut self) {
+        self.head_blocked = false;
+        self.bf = None;
+        self.h_blocked = [false; 2];
     }
 
     /// Determines the next Q/R action and its start time, if one can start
@@ -449,18 +926,11 @@ impl SchedEngine {
             let server = self.q_free_at;
             (server.max(sub_t), Action::Ingest)
         });
-        let matcher = match (self.ready.front(), self.head_blocked) {
-            (Some(&(ready_at, _)), false) => {
-                let server = match self.coupling {
-                    Coupling::Synchronous => self.q_free_at,
-                    Coupling::Asynchronous => self.r_free_at,
-                };
-                // The matcher cannot start before the head job entered the
-                // queue (an idle server does not work in the past).
-                Some((server.max(ready_at), Action::Match))
-            }
-            _ => None,
-        };
+        let matcher = self.match_candidate().map(|(ready_at, pos)| {
+            // The matcher cannot start before the candidate entered the
+            // queue (an idle server does not work in the past).
+            (self.matcher_server().max(ready_at), Action::Match(pos))
+        });
         let candidate = match (ingest, matcher) {
             (None, None) => None,
             (Some(a), None) => Some(a),
@@ -497,6 +967,10 @@ impl SchedEngine {
         });
         let class = rec.spec.class;
         let placed_at = rec.placed_at.take();
+        if let Some(p) = placed_at {
+            let slices = alloc.as_ref().map_or(0, |a| a.slices.len()) as u128;
+            *self.consumed.entry(class).or_insert(0) += t.since(p).as_micros() as u128 * slices;
+        }
         self.unindex_running(id, class, alloc.as_ref());
         self.counts_mut(class).0 -= 1;
         if success {
@@ -521,8 +995,8 @@ impl SchedEngine {
             "job.finished",
             &[("job", id.0.into()), ("success", success.into())],
         );
-        // A release may unblock the FCFS head.
-        self.head_blocked = false;
+        // A release may unblock any policy's waiting candidates.
+        self.unblock();
         events.push(JobEvent::Finished { id, at: t, success });
     }
 
@@ -546,7 +1020,208 @@ impl SchedEngine {
                     );
                 }
             }
-            Action::Match => {
+            Action::Match(pos) => {
+                let Some(&(ready_at, id)) = self.ready.get(pos) else {
+                    return;
+                };
+                let Some((shape, job_class)) = self
+                    .jobs
+                    .get(&id)
+                    .map(|rec| (rec.spec.shape, rec.spec.class))
+                else {
+                    return;
+                };
+                let placed = if self.sched_policy == SchedPolicy::Hierarchical {
+                    let (lo, hi) = self.hier_range(hier_child(job_class));
+                    self.graph.try_alloc_range(&shape, self.policy, lo, hi)
+                } else {
+                    self.graph.try_alloc(&shape, self.policy)
+                };
+                let visited = self.graph.visited_last();
+                let cost = self.costs.per_node_visit * visited
+                    + if placed.is_some() {
+                        self.costs.dispatch
+                    } else {
+                        SimDuration::ZERO
+                    };
+                let end = start + cost;
+                match self.coupling {
+                    Coupling::Synchronous => self.q_free_at = end,
+                    Coupling::Asynchronous => self.r_free_at = end,
+                }
+                self.tracer.span_at(
+                    start,
+                    cost,
+                    "sched",
+                    "svc.match",
+                    &[("job", id.0.into()), ("visited", visited.into())],
+                );
+                self.tracer.observe("sched.visited_per_match", visited);
+                match placed {
+                    Some(alloc) => {
+                        self.ready.remove(pos);
+                        let Some(rec) = self.jobs.get_mut(&id) else {
+                            self.graph.release(&alloc);
+                            return;
+                        };
+                        rec.alloc = Some(alloc);
+                        rec.state.advance_to(JobState::Running);
+                        rec.placed_at = Some(end);
+                        let runtime = rec.spec.runtime;
+                        let class = rec.spec.class;
+                        let counts = self.counts_mut(class);
+                        counts.0 += 1;
+                        counts.1 -= 1;
+                        self.stats.placed += 1;
+                        self.running.insert((class, id));
+                        if let Some(alloc) = self.jobs.get(&id).and_then(|r| r.alloc.as_ref()) {
+                            for s in &alloc.slices {
+                                self.residency.entry(s.node).or_default().insert(id);
+                            }
+                        }
+                        self.completions.push(Reverse((end + runtime, id)));
+                        self.tracer.instant_at(
+                            end,
+                            "sched",
+                            "job.placed",
+                            &[("job", id.0.into()), ("class", class.label().into())],
+                        );
+                        self.tracer.counter_add("sched.placed", 1);
+                        self.tracer
+                            .observe("sched.queue_wait_us", end.since(ready_at).as_micros());
+                        let wait_us = end.since(ready_at).as_micros();
+                        let w = self.wait_by_class.entry(class).or_default();
+                        w.count += 1;
+                        w.sum_us += wait_us;
+                        w.max_us = w.max_us.max(wait_us);
+                        if let Some(samples) = &mut self.wait_samples {
+                            samples.push(wait_us);
+                        }
+                        if pos > 0 && self.sched_policy.is_backfill() {
+                            self.stats.backfills += 1;
+                            self.tracer.counter_add("sched.backfills", 1);
+                            if let Some(pairs) = &mut self.bf_pairs {
+                                if let Some(&(_, head)) = self.ready.front() {
+                                    pairs.push((id, head));
+                                }
+                            }
+                            // Queue positions shifted and the free pool
+                            // shrank: rebuild the reservation state,
+                            // resuming the scan where the removal left it.
+                            self.bf = Some(self.compute_bf_state(pos));
+                        }
+                        events.push(JobEvent::Placed { id, at: end });
+                    }
+                    None => {
+                        match self.sched_policy {
+                            // Strict FCFS, no backfilling: the head blocks
+                            // the queue until resources are released.
+                            SchedPolicy::Fcfs => self.head_blocked = true,
+                            SchedPolicy::BackfillEasy | SchedPolicy::BackfillConservative => {
+                                if pos == 0 {
+                                    // Head miss: block it and open a
+                                    // backfill episode with fresh
+                                    // reservation estimates.
+                                    self.head_blocked = true;
+                                    self.bf = Some(self.compute_bf_state(1));
+                                } else if let Some(bf) = &mut self.bf {
+                                    // A screened candidate still failed on
+                                    // real topology; never re-try it this
+                                    // episode.
+                                    bf.cursor = pos + 1;
+                                }
+                            }
+                            // The least-consumed class's head missed; a
+                            // cross-class skip here would let hungry small
+                            // classes starve it, so the queue waits.
+                            SchedPolicy::FairShare => self.head_blocked = true,
+                            // Only the candidate's own child instance
+                            // blocks; the other child keeps scheduling.
+                            SchedPolicy::Hierarchical => {
+                                self.h_blocked[hier_child(job_class)] = true
+                            }
+                        }
+                        self.stats.match_misses += 1;
+                        self.tracer.counter_add("sched.match_misses", 1);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Retained pre-refactor FCFS path (differential oracle) ---------
+    //
+    // These three methods are verbatim copies of the engine's service
+    // loop from before the policy split, dispatched by `legacy_fcfs`.
+    // They model strict FCFS/no-backfill only; `policy_props.rs` pins
+    // the refactored FCFS path byte-identical against them, the same
+    // way the linear matcher pins the segment-tree index.
+
+    fn next_wakeup_legacy(&self) -> Option<SimTime> {
+        let eps = SimDuration::from_micros(1);
+        let completion = self.completions.peek().map(|Reverse((t, _))| *t);
+        let ingest = self
+            .inbox
+            .front()
+            .map(|&(sub_t, _)| self.q_free_at.max(sub_t) + eps);
+        let matcher = match (self.ready.front(), self.head_blocked) {
+            (Some(&(ready_at, _)), false) => {
+                let server = match self.coupling {
+                    Coupling::Synchronous => self.q_free_at,
+                    Coupling::Asynchronous => self.r_free_at,
+                };
+                Some(server.max(ready_at) + eps)
+            }
+            _ => None,
+        };
+        [completion, ingest, matcher].into_iter().flatten().min()
+    }
+
+    fn next_service_legacy(&self, now: SimTime) -> Option<(SimTime, Action)> {
+        let ingest = self.inbox.front().map(|&(sub_t, _)| {
+            let server = self.q_free_at;
+            (server.max(sub_t), Action::Ingest)
+        });
+        let matcher = match (self.ready.front(), self.head_blocked) {
+            (Some(&(ready_at, _)), false) => {
+                let server = match self.coupling {
+                    Coupling::Synchronous => self.q_free_at,
+                    Coupling::Asynchronous => self.r_free_at,
+                };
+                Some((server.max(ready_at), Action::Match(0)))
+            }
+            _ => None,
+        };
+        let candidate = match (ingest, matcher) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+        };
+        candidate.filter(|&(t, _)| t < now)
+    }
+
+    fn run_service_legacy(&mut self, start: SimTime, action: Action, events: &mut Vec<JobEvent>) {
+        match action {
+            Action::Ingest => {
+                let Some((_, id)) = self.inbox.pop_front() else {
+                    return;
+                };
+                let end = start + self.costs.submit;
+                self.q_free_at = end;
+                if let Some(rec) = self.jobs.get_mut(&id) {
+                    rec.state.advance_to(JobState::Queued);
+                    self.ready.push_back((end, id));
+                    self.tracer.span_at(
+                        start,
+                        self.costs.submit,
+                        "sched",
+                        "svc.ingest",
+                        &[("job", id.0.into())],
+                    );
+                }
+            }
+            Action::Match(_) => {
                 let Some(&(ready_at, id)) = self.ready.front() else {
                     return;
                 };
@@ -609,8 +1284,6 @@ impl SchedEngine {
                         events.push(JobEvent::Placed { id, at: end });
                     }
                     None => {
-                        // Strict FCFS, no backfilling: the head blocks the
-                        // queue until resources are released.
                         self.head_blocked = true;
                         self.stats.match_misses += 1;
                         self.tracer.counter_add("sched.match_misses", 1);

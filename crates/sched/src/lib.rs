@@ -46,13 +46,15 @@
 mod engine;
 mod job;
 mod launcher;
+mod policy;
 mod replay;
 mod throttle;
 
-pub use engine::{Costs, Coupling, SchedEngine, SchedStats};
+pub use engine::{ClassWait, Costs, Coupling, SchedEngine, SchedStats};
 pub use job::{
     JobClass, JobEvent, JobId, JobOutcome, JobSpec, JobState, TrackedState, ALLOWED_TRANSITIONS,
 };
 pub use launcher::Launcher;
+pub use policy::SchedPolicy;
 pub use replay::{SchedEvent, SchedLog};
 pub use throttle::Throttle;

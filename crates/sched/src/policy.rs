@@ -1,0 +1,111 @@
+//! The scheduler policy zoo: queue-ordering and backfill decisions.
+//!
+//! [`SchedPolicy`] is the *queue* policy — which queued job the matcher
+//! tries next and what happens when it does not fit. It composes with
+//! [`resources::MatchPolicy`], which stays the *placement* sub-policy
+//! (how the matcher walks the resource graph once a job is chosen). The
+//! paper's campaign ran exactly one point of this space — strict FCFS
+//! with no backfilling (§4.3) — and that remains the byte-identical
+//! default; the other members exist to show the 670× async/first-match
+//! coordination win is a property of the design, not of one policy.
+//!
+//! | policy         | candidate when head fits | on head miss                        |
+//! |----------------|--------------------------|-------------------------------------|
+//! | `Fcfs`         | queue head               | queue blocks until a release        |
+//! | `BackfillEasy` | queue head               | backfill jobs that cannot delay the |
+//! |                |                          | head's earliest-start reservation   |
+//! | `BackfillConservative` | queue head       | backfill jobs that cannot delay     |
+//! |                |                          | *any* job ahead of them             |
+//! | `FairShare`    | head of least-consumed class (node-seconds accrued at |
+//! |                | release; ties break by submission seq)                |
+//! | `Hierarchical` | two child instances partition the node range by job   |
+//! |                | class (GPU vs CPU); a blocked child never stalls the  |
+//! |                | other                                                 |
+//!
+//! Backfill reservations are estimated from an *aggregate* free-resource
+//! profile (current free totals plus scheduled releases), which is
+//! optimistic: the estimate is a lower bound on any real fit time, so a
+//! backfilled job whose end lands at or before the estimate can never
+//! delay the job holding the reservation (see `policy_props.rs`).
+
+/// Queue-ordering + backfill policy of a [`crate::SchedEngine`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchedPolicy {
+    /// Strict first-come-first-served, no backfilling — the campaign's
+    /// configuration and the byte-identical default.
+    #[default]
+    Fcfs,
+    /// EASY backfill: the head of the queue holds a reservation; jobs
+    /// behind it may run out of order only if they finish by the head's
+    /// estimated start.
+    BackfillEasy,
+    /// Conservative backfill: a job may run out of order only if it
+    /// finishes by the estimated start of *every* job ahead of it.
+    BackfillConservative,
+    /// Fair-share across job classes: the matcher tries the oldest queued
+    /// job of the class with the least consumed node-seconds, the same
+    /// min-by-consumed comparator shape the farm uses for tenant
+    /// admission. Ties break by submission sequence.
+    FairShare,
+    /// Hierarchical two-level scheduling (Flux-style): a parent instance
+    /// partitions the node range across two child schedulers — GPU
+    /// classes on the low range, CPU classes on the high range — so a
+    /// blocked wide CPU job cannot stall GPU throughput.
+    Hierarchical,
+}
+
+impl SchedPolicy {
+    /// Every member of the zoo, in a fixed order (benchmark matrices and
+    /// proptest suites iterate this).
+    pub const ALL: [SchedPolicy; 5] = [
+        SchedPolicy::Fcfs,
+        SchedPolicy::BackfillEasy,
+        SchedPolicy::BackfillConservative,
+        SchedPolicy::FairShare,
+        SchedPolicy::Hierarchical,
+    ];
+
+    /// Stable wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::BackfillEasy => "backfill-easy",
+            SchedPolicy::BackfillConservative => "backfill-conservative",
+            SchedPolicy::FairShare => "fair-share",
+            SchedPolicy::Hierarchical => "hierarchical",
+        }
+    }
+
+    /// Parses a wire/CLI name; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        SchedPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Whether this policy backfills (has reservation state).
+    pub fn is_backfill(self) -> bool {
+        matches!(
+            self,
+            SchedPolicy::BackfillEasy | SchedPolicy::BackfillConservative
+        )
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(SchedPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(SchedPolicy::parse("lottery"), None);
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Fcfs);
+    }
+}

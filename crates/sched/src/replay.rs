@@ -66,6 +66,11 @@ impl SchedLog {
         self.events.push(SchedEvent::FailNode { at, node });
     }
 
+    /// The logged events in order.
+    pub fn events(&self) -> &[SchedEvent] {
+        &self.events
+    }
+
     /// Number of logged events.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -1,0 +1,360 @@
+//! Shared invariants of the scheduler policy zoo.
+//!
+//! Every queue-ordering policy — FCFS, both backfill flavors, fair
+//! share, hierarchical — must uphold the same safety contract the
+//! monolithic FCFS engine always had; the policies may only differ in
+//! *which* job the matcher sees next. These properties pin that
+//! contract over arbitrary job streams:
+//!
+//! - no job is placed or finished more than once, and resource usage
+//!   returns to zero once the stream drains (no double-booking);
+//! - the stats ledger conserves jobs (completed + failed + canceled =
+//!   submitted) and every feasible job eventually reaches a terminal
+//!   state (no starvation, including under backfill);
+//! - EASY backfill never delays the blocked head: a backfilled job
+//!   returns its resources no later than the head's actual start;
+//! - FCFS through the split policy layer is event-identical to the
+//!   retained pre-refactor monolith (`set_legacy_fcfs`), the
+//!   differential oracle for the whole refactor.
+
+use proptest::prelude::*;
+use resources::{JobShape, MachineSpec, MatchPolicy, NodeSpec, ResourceGraph};
+use sched::{Costs, Coupling, JobClass, JobEvent, JobSpec, SchedEngine, SchedPolicy};
+use simcore::{SimDuration, SimTime};
+
+/// An 8-node Summit-like machine: big enough that the hierarchical
+/// split (child 1 owns the top quarter — 2 nodes) can host every CPU
+/// shape the generators below produce.
+fn machine() -> MachineSpec {
+    MachineSpec::custom("p", 8, NodeSpec::summit())
+}
+
+fn engine(policy: SchedPolicy) -> SchedEngine {
+    let mut e = SchedEngine::new(
+        ResourceGraph::new(machine()),
+        MatchPolicy::FirstMatch,
+        Coupling::Asynchronous,
+        Costs::free(),
+    );
+    e.set_sched_policy(policy);
+    e
+}
+
+/// Job shapes that all fit the empty machine — and, for CPU shapes,
+/// the hierarchical CPU partition — so "eventually places" is a
+/// capacity fact, not an accident of ordering.
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (0usize..4, 1u64..90).prop_map(|(kind, mins)| {
+        let (class, shape) = match kind {
+            0 => (JobClass::CgSim, JobShape::sim_standard()),
+            1 => (JobClass::AaSim, JobShape::sim(5)),
+            2 => (JobClass::CgSetup, JobShape::setup()),
+            _ => (JobClass::Continuum, JobShape::continuum(2)),
+        };
+        JobSpec::new(class, shape, SimDuration::from_mins(mins))
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit(JobSpec),
+    Cancel { idx: usize },
+    Advance { mins: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_spec().prop_map(Op::Submit),
+        arb_spec().prop_map(Op::Submit),
+        (0usize..64).prop_map(|idx| Op::Cancel { idx }),
+        (1u64..180).prop_map(|mins| Op::Advance { mins }),
+        (1u64..180).prop_map(|mins| Op::Advance { mins }),
+    ]
+}
+
+/// Drives one engine through the op stream, then drains it to
+/// quiescence. Non-FCFS policies only retry a blocked head when a
+/// completion (or cancel/failure) lands, so the drain advances in
+/// waves — each wave's completions unblock the next — rather than one
+/// long jump.
+fn drive(policy: SchedPolicy, ops: &[Op]) -> (SchedEngine, Vec<JobEvent>, Vec<sched::JobId>) {
+    let mut e = engine(policy);
+    let mut now = SimTime::ZERO;
+    let mut jobs = Vec::new();
+    let mut events = Vec::new();
+    for op in ops {
+        match op {
+            Op::Submit(spec) => jobs.push(e.submit(spec.clone(), now)),
+            Op::Cancel { idx } => {
+                if !jobs.is_empty() {
+                    e.cancel(jobs[idx % jobs.len()]);
+                }
+            }
+            Op::Advance { mins } => {
+                now += SimDuration::from_mins(*mins);
+                events.extend(e.advance(now));
+            }
+        }
+    }
+    for _ in 0..64 {
+        now += SimDuration::from_hours(10);
+        events.extend(e.advance(now));
+        if e.totals() == (0, 0) {
+            break;
+        }
+    }
+    (e, events, jobs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No double-booking, job conservation, and no starvation — under
+    /// every policy in the zoo, over one shared op stream.
+    #[test]
+    fn every_policy_conserves_jobs_and_resources(
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        for policy in SchedPolicy::ALL {
+            let (e, events, jobs) = drive(policy, &ops);
+            let mut placed = std::collections::HashMap::new();
+            let mut finished = std::collections::HashMap::new();
+            for ev in &events {
+                match ev {
+                    JobEvent::Placed { id, .. } => *placed.entry(*id).or_insert(0u32) += 1,
+                    JobEvent::Finished { id, .. } => *finished.entry(*id).or_insert(0u32) += 1,
+                }
+            }
+            for (&id, &n) in &placed {
+                prop_assert!(n <= 1, "[{}] {id} placed {n} times", policy.name());
+            }
+            for (&id, &n) in &finished {
+                prop_assert!(n <= 1, "[{}] {id} finished {n} times", policy.name());
+            }
+            // No starvation: every feasible job reached a terminal state.
+            for &id in &jobs {
+                let st = e.state(id).expect("job known");
+                prop_assert!(st.is_terminal(), "[{}] {id} starved in {st:?}", policy.name());
+            }
+            // Double-booking would strand usage; a drained queue must
+            // return the machine to empty.
+            prop_assert_eq!(e.graph().gpu_usage().0, 0, "[{}] gpus leak", policy.name());
+            prop_assert_eq!(e.graph().cpu_usage().0, 0, "[{}] cores leak", policy.name());
+            prop_assert_eq!(e.totals(), (0, 0), "[{}] queue not drained", policy.name());
+            let stats = e.stats();
+            prop_assert_eq!(stats.submitted as usize, jobs.len());
+            prop_assert_eq!(
+                stats.completed + stats.failed + stats.canceled,
+                jobs.len() as u64,
+                "[{}] ledger does not balance", policy.name()
+            );
+        }
+    }
+
+    /// EASY backfill never delays the blocked head: every job that
+    /// jumped the queue returned its resources by the time the head it
+    /// jumped actually started. Under `Costs::free` the engine's
+    /// reservation arithmetic is exact, so the comparison holds with
+    /// equality allowed (a release and a start may share a timestamp).
+    #[test]
+    fn easy_backfill_never_delays_the_head(
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut e = engine(SchedPolicy::BackfillEasy);
+        e.collect_backfill_pairs(true);
+        let mut now = SimTime::ZERO;
+        let mut jobs = Vec::new();
+        let mut placed_at = std::collections::HashMap::new();
+        let mut finished_at = std::collections::HashMap::new();
+        let mut note = |events: Vec<JobEvent>| {
+            for ev in events {
+                match ev {
+                    JobEvent::Placed { id, at } => {
+                        placed_at.insert(id, at);
+                    }
+                    JobEvent::Finished { id, at, .. } => {
+                        finished_at.insert(id, at);
+                    }
+                }
+            }
+        };
+        for op in &ops {
+            match op {
+                Op::Submit(spec) => jobs.push(e.submit(spec.clone(), now)),
+                Op::Cancel { idx } => {
+                    if !jobs.is_empty() {
+                        e.cancel(jobs[idx % jobs.len()]);
+                    }
+                }
+                Op::Advance { mins } => {
+                    now += SimDuration::from_mins(*mins);
+                    note(e.advance(now));
+                }
+            }
+        }
+        for _ in 0..64 {
+            now += SimDuration::from_hours(10);
+            note(e.advance(now));
+            if e.totals() == (0, 0) {
+                break;
+            }
+        }
+        for &(bf, head) in e.backfill_pairs() {
+            // A canceled head never starts; the pair carries no bound.
+            let Some(&head_start) = placed_at.get(&head) else {
+                continue;
+            };
+            // A canceled or failing backfilled job released early —
+            // earlier than its runtime promised — which only widens
+            // the margin, so missing finish times are fine to skip.
+            let Some(&bf_end) = finished_at.get(&bf) else {
+                continue;
+            };
+            prop_assert!(
+                bf_end <= head_start,
+                "backfilled {bf} held resources until {bf_end}, past head {head} start {head_start}"
+            );
+        }
+    }
+
+    /// The split FCFS policy is event-identical to the retained
+    /// pre-refactor monolith on the same stream — placements, finishes,
+    /// timestamps, and final stats all match.
+    #[test]
+    fn fcfs_matches_the_legacy_monolith(
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        let run = |legacy: bool| {
+            let mut e = engine(SchedPolicy::Fcfs);
+            e.set_legacy_fcfs(legacy);
+            let mut now = SimTime::ZERO;
+            let mut jobs = Vec::new();
+            let mut events = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Submit(spec) => jobs.push(e.submit(spec.clone(), now)),
+                    Op::Cancel { idx } => {
+                        if !jobs.is_empty() {
+                            e.cancel(jobs[idx % jobs.len()]);
+                        }
+                    }
+                    Op::Advance { mins } => {
+                        now += SimDuration::from_mins(*mins);
+                        events.extend(e.advance(now));
+                    }
+                }
+            }
+            now += SimDuration::from_hours(1000);
+            events.extend(e.advance(now));
+            (events, e.stats())
+        };
+        let (split_events, split_stats) = run(false);
+        let (legacy_events, legacy_stats) = run(true);
+        prop_assert_eq!(split_events, legacy_events);
+        prop_assert_eq!(split_stats, legacy_stats);
+    }
+}
+
+/// Regression for the fragmentation wedge: a wide CPU head that fits
+/// the *aggregate* free pool but no actual node must still open a
+/// backfill window. Four running continuum slices leave 20 free cores
+/// on every node; the queued `continuum(2)` head needs 24 per node, so
+/// it is topology-blocked while the aggregate says "fits now". Before
+/// the head estimate was clamped to the first scheduled release, the
+/// reservation window collapsed to zero width and EASY degraded to
+/// FCFS — zero backfills, starved narrows.
+#[test]
+fn aggregate_feasible_but_fragmented_head_still_backfills() {
+    for policy in [SchedPolicy::BackfillEasy, SchedPolicy::BackfillConservative] {
+        let mut e = SchedEngine::new(
+            ResourceGraph::new(MachineSpec::custom("p", 4, NodeSpec::summit())),
+            MatchPolicy::FirstMatch,
+            Coupling::Asynchronous,
+            Costs::free(),
+        );
+        e.set_sched_policy(policy);
+        // Blanket every node with a 24-core slice (one 4-node wide job).
+        let wide = e.submit(
+            JobSpec::new(
+                JobClass::Continuum,
+                JobShape::continuum(4),
+                SimDuration::from_mins(100),
+            ),
+            SimTime::ZERO,
+        );
+        let mut t = SimTime::from_mins(1);
+        assert!(e
+            .advance(t)
+            .iter()
+            .any(|ev| matches!(ev, JobEvent::Placed { id, .. } if *id == wide)));
+        // The fragmented head: aggregate-feasible (80 free cores >= 48),
+        // per-node infeasible (20 < 24 everywhere).
+        e.submit(
+            JobSpec::new(
+                JobClass::Continuum,
+                JobShape::continuum(2),
+                SimDuration::from_mins(100),
+            ),
+            t,
+        );
+        // Narrow GPU sims behind it: they finish well inside the wide
+        // job's remaining 99 minutes, so both backfill flavors must
+        // start them instead of idling 24 GPUs.
+        for _ in 0..6 {
+            e.submit(
+                JobSpec::new(
+                    JobClass::CgSim,
+                    JobShape::sim_standard(),
+                    SimDuration::from_mins(10),
+                ),
+                t,
+            );
+        }
+        t += SimDuration::from_mins(5);
+        e.advance(t);
+        let stats = e.stats();
+        assert!(
+            stats.backfills >= 6,
+            "[{}] expected the narrow sims backfilled, got {stats:?}",
+            policy.name()
+        );
+    }
+}
+
+/// Queue ties break by submission sequence: a burst of identical jobs
+/// submitted at the same instant places in submission order under
+/// every policy. Duplicate priorities (same class, same shape, same
+/// ready time) must never reorder on an internal detail like hash
+/// order or heap tie-breaking.
+#[test]
+fn duplicate_priority_burst_places_in_submission_order() {
+    for policy in SchedPolicy::ALL {
+        let mut e = engine(policy);
+        let ids: Vec<_> = (0..16)
+            .map(|_| {
+                e.submit(
+                    JobSpec::new(
+                        JobClass::CgSim,
+                        JobShape::sim_standard(),
+                        SimDuration::from_mins(30),
+                    ),
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        let events = e.advance(SimTime::from_hours(2));
+        let placed: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                JobEvent::Placed { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            placed,
+            ids,
+            "[{}] burst placed out of submission order",
+            policy.name()
+        );
+    }
+}

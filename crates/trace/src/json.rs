@@ -78,6 +78,14 @@ impl Json {
         }
     }
 
+    /// This value as an object map, if it is one.
+    pub fn as_obj(&self) -> Option<&std::collections::BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Serializes the value back to compact JSON (object keys in
     /// `BTreeMap` order). Round-trips everything this module can parse;
     /// integral numbers print without a fractional part.

@@ -1,0 +1,495 @@
+//! External trace replay: CSV / JSONL arrival–shape–duration records.
+//!
+//! The record format is one job per line, alibaba-trace style:
+//!
+//! ```text
+//! at_us,class,nodes,cores,gpus,affinity,runtime_us,outcome
+//! 0,continuum,2,24,0,cores,86400000000,ok
+//! 600000,cg-sim,1,3,1,gpu,3600000000,ok
+//! ```
+//!
+//! or the same fields as flat JSONL objects:
+//!
+//! ```text
+//! {"at_us":0,"class":"cg-sim","nodes":1,"cores":3,"gpus":1,"affinity":"gpu","runtime_us":3600000000,"outcome":"ok"}
+//! ```
+//!
+//! `class` ∈ the [`JobClass`] labels, `affinity` ∈ `none|gpu|cores`,
+//! `outcome` ∈ `ok|fail`. Arrivals must be non-decreasing. Malformed
+//! lines are typed [`TraceError`]s with pinned messages — a workload is
+//! an input boundary, and silent coercion there is how a benchmark lies.
+
+use resources::{Affinity, JobShape};
+use sched::{JobClass, JobOutcome, JobSpec, SchedEvent, SchedLog};
+use simcore::{SimDuration, SimTime};
+
+use crate::{WorkloadJob, WorkloadSource};
+
+/// The CSV header line (written by [`TraceFile::to_csv`], skipped on
+/// parse).
+pub const CSV_HEADER: &str = "at_us,class,nodes,cores,gpus,affinity,runtime_us,outcome";
+
+/// A typed trace-parse failure. `line` is 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Wrong number of CSV fields.
+    Arity {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A field failed to parse.
+    Field {
+        /// 1-based line number.
+        line: usize,
+        /// Which field.
+        field: &'static str,
+        /// The offending text.
+        value: String,
+    },
+    /// A JSONL line is not a flat object of the expected shape.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Arrival times went backwards.
+    Order {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Arity { line, got } => {
+                write!(f, "trace line {line}: expected 8 fields, got {got}")
+            }
+            TraceError::Field { line, field, value } => {
+                write!(f, "trace line {line}: bad {field} '{value}'")
+            }
+            TraceError::Json { line, detail } => {
+                write!(f, "trace line {line}: malformed json: {detail}")
+            }
+            TraceError::Order { line } => {
+                write!(f, "trace line {line}: arrivals must be non-decreasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A parsed trace: job arrivals in non-decreasing time order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceFile {
+    jobs: Vec<WorkloadJob>,
+}
+
+impl TraceFile {
+    /// The parsed arrivals.
+    pub fn jobs(&self) -> &[WorkloadJob] {
+        &self.jobs
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Builds a trace from a recorded scheduler log's submissions
+    /// (cancels and node failures are out-of-band control, not
+    /// workload). This is the record half of the §4.4 record → replay
+    /// loop: run a campaign with recording on, convert its log, and the
+    /// replayed trace drives a fresh engine to identical placements.
+    pub fn from_sched_log(log: &SchedLog) -> TraceFile {
+        let jobs = log
+            .events()
+            .iter()
+            .filter_map(|ev| match ev {
+                SchedEvent::Submit { at, spec } => Some(WorkloadJob {
+                    at: *at,
+                    spec: spec.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        TraceFile { jobs }
+    }
+
+    /// Parses either format, sniffing JSONL by a leading `{`.
+    pub fn parse(text: &str) -> Result<TraceFile, TraceError> {
+        let first = text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'));
+        match first {
+            Some(l) if l.starts_with('{') => TraceFile::parse_jsonl(text),
+            _ => TraceFile::parse_csv(text),
+        }
+    }
+
+    /// Parses the CSV form. Empty lines, `#` comments, and the header
+    /// line are skipped.
+    pub fn parse_csv(text: &str) -> Result<TraceFile, TraceError> {
+        let mut jobs: Vec<WorkloadJob> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let l = raw.trim();
+            if l.is_empty() || l.starts_with('#') || l == CSV_HEADER {
+                continue;
+            }
+            let parts: Vec<&str> = l.split(',').collect();
+            if parts.len() != 8 {
+                return Err(TraceError::Arity {
+                    line,
+                    got: parts.len(),
+                });
+            }
+            let job = build_job(
+                line, parts[0], parts[1], parts[2], parts[3], parts[4], parts[5], parts[6],
+                parts[7],
+            )?;
+            push_ordered(&mut jobs, job, line)?;
+        }
+        Ok(TraceFile { jobs })
+    }
+
+    /// Parses the JSONL form: one flat object per line with exactly the
+    /// CSV fields as keys. Empty lines and `#` comments are skipped.
+    pub fn parse_jsonl(text: &str) -> Result<TraceFile, TraceError> {
+        let mut jobs: Vec<WorkloadJob> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let l = raw.trim();
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            let pairs = parse_flat_object(l).map_err(|detail| TraceError::Json { line, detail })?;
+            let field = |name: &'static str| -> Result<&str, TraceError> {
+                pairs
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.as_str())
+                    .ok_or(TraceError::Json {
+                        line,
+                        detail: format!("missing key '{name}'"),
+                    })
+            };
+            let job = build_job(
+                line,
+                field("at_us")?,
+                field("class")?,
+                field("nodes")?,
+                field("cores")?,
+                field("gpus")?,
+                field("affinity")?,
+                field("runtime_us")?,
+                field("outcome")?,
+            )?;
+            push_ordered(&mut jobs, job, line)?;
+        }
+        Ok(TraceFile { jobs })
+    }
+
+    /// Serializes to the CSV form (header + one line per job).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for job in &self.jobs {
+            let aff = match job.spec.shape.affinity {
+                Affinity::None => "none",
+                Affinity::PackNearGpu => "gpu",
+                Affinity::PackCores => "cores",
+            };
+            let outcome = match job.spec.outcome {
+                JobOutcome::Success => "ok",
+                JobOutcome::Failure => "fail",
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{aff},{},{outcome}\n",
+                job.at.as_micros(),
+                job.spec.class.label(),
+                job.spec.shape.nodes,
+                job.spec.shape.cores_per_node,
+                job.spec.shape.gpus_per_node,
+                job.spec.runtime.as_micros(),
+            ));
+        }
+        out
+    }
+
+    /// Consumes the trace into a replaying [`WorkloadSource`].
+    pub fn into_replayer(self) -> TraceReplayer {
+        TraceReplayer {
+            jobs: self.jobs.into_iter(),
+            peeked: None,
+        }
+    }
+}
+
+fn push_ordered(
+    jobs: &mut Vec<WorkloadJob>,
+    job: WorkloadJob,
+    line: usize,
+) -> Result<(), TraceError> {
+    if jobs.last().is_some_and(|prev| prev.at > job.at) {
+        return Err(TraceError::Order { line });
+    }
+    jobs.push(job);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_job(
+    line: usize,
+    at: &str,
+    class: &str,
+    nodes: &str,
+    cores: &str,
+    gpus: &str,
+    affinity: &str,
+    runtime: &str,
+    outcome: &str,
+) -> Result<WorkloadJob, TraceError> {
+    let bad = |field: &'static str, value: &str| TraceError::Field {
+        line,
+        field,
+        value: value.to_string(),
+    };
+    let at_us: u64 = at.parse().map_err(|_| bad("at_us", at))?;
+    let class = JobClass::from_label(class).ok_or_else(|| bad("class", class))?;
+    let shape = JobShape {
+        nodes: nodes.parse().map_err(|_| bad("nodes", nodes))?,
+        cores_per_node: cores.parse().map_err(|_| bad("cores", cores))?,
+        gpus_per_node: gpus.parse().map_err(|_| bad("gpus", gpus))?,
+        affinity: match affinity {
+            "none" => Affinity::None,
+            "gpu" => Affinity::PackNearGpu,
+            "cores" => Affinity::PackCores,
+            other => return Err(bad("affinity", other)),
+        },
+    };
+    let runtime_us: u64 = runtime.parse().map_err(|_| bad("runtime_us", runtime))?;
+    let mut spec = JobSpec::new(class, shape, SimDuration::from_micros(runtime_us));
+    match outcome {
+        "ok" => {}
+        "fail" => spec = spec.failing(),
+        other => return Err(bad("outcome", other)),
+    }
+    Ok(WorkloadJob {
+        at: SimTime::from_micros(at_us),
+        spec,
+    })
+}
+
+/// Parses one flat JSON object into (key, value-as-text) pairs. Values
+/// may be unsigned integers or plain strings; nothing nests.
+fn parse_flat_object(l: &str) -> Result<Vec<(String, String)>, String> {
+    let inner = l
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not an object".to_string())?;
+    let mut pairs = Vec::new();
+    // Split on top-level commas (strings in this format never contain
+    // commas or escapes, but track quotes anyway so a bad input fails
+    // loudly instead of mis-splitting).
+    let mut depth_in_string = false;
+    let mut start = 0usize;
+    let bytes = inner.as_bytes();
+    let mut fields: Vec<&str> = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => depth_in_string = !depth_in_string,
+            b',' if !depth_in_string => {
+                fields.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth_in_string {
+        return Err("unterminated string".to_string());
+    }
+    if !inner.trim().is_empty() {
+        fields.push(&inner[start..]);
+    }
+    for field in fields {
+        let (k, v) = field
+            .split_once(':')
+            .ok_or_else(|| format!("missing ':' in '{}'", field.trim()))?;
+        let k = k.trim();
+        let k = k
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key '{k}'"))?;
+        let v = v.trim();
+        let v = v
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or(v);
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    Ok(pairs)
+}
+
+/// Replays a [`TraceFile`] as a [`WorkloadSource`].
+#[derive(Debug)]
+pub struct TraceReplayer {
+    jobs: std::vec::IntoIter<WorkloadJob>,
+    peeked: Option<WorkloadJob>,
+}
+
+impl TraceReplayer {
+    fn peek(&mut self) -> Option<&WorkloadJob> {
+        if self.peeked.is_none() {
+            self.peeked = self.jobs.next();
+        }
+        self.peeked.as_ref()
+    }
+}
+
+impl WorkloadSource for TraceReplayer {
+    fn next_at(&self) -> Option<SimTime> {
+        // `peeked` is filled by pop_due's peek; before the first pop the
+        // iterator itself holds the head.
+        self.peeked
+            .as_ref()
+            .map(|j| j.at)
+            .or_else(|| self.jobs.as_slice().first().map(|j| j.at))
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<WorkloadJob> {
+        if self.peek().is_some_and(|j| j.at <= now) {
+            self.peeked.take()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE_CSV: &str = "\
+at_us,class,nodes,cores,gpus,affinity,runtime_us,outcome
+0,continuum,2,24,0,cores,86400000000,ok
+600000,cg-sim,1,3,1,gpu,3600000000,ok
+# a comment
+1200000,cg-setup,1,24,0,cores,300000000,fail
+";
+
+    #[test]
+    fn csv_parses_and_roundtrips() {
+        let t = TraceFile::parse_csv(SAMPLE_CSV).expect("parses");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.jobs()[0].spec.class, JobClass::Continuum);
+        assert_eq!(t.jobs()[1].at, SimTime::from_micros(600_000));
+        assert_eq!(t.jobs()[2].spec.outcome, JobOutcome::Failure);
+        let csv = t.to_csv();
+        let again = TraceFile::parse_csv(&csv).expect("reparses");
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn jsonl_parses_same_jobs_as_csv() {
+        let jsonl = r#"
+{"at_us":0,"class":"continuum","nodes":2,"cores":24,"gpus":0,"affinity":"cores","runtime_us":86400000000,"outcome":"ok"}
+{"at_us":600000,"class":"cg-sim","nodes":1,"cores":3,"gpus":1,"affinity":"gpu","runtime_us":3600000000,"outcome":"ok"}
+{"at_us":1200000,"class":"cg-setup","nodes":1,"cores":24,"gpus":0,"affinity":"cores","runtime_us":300000000,"outcome":"fail"}
+"#;
+        let a = TraceFile::parse_jsonl(jsonl).expect("parses");
+        let b = TraceFile::parse_csv(SAMPLE_CSV).expect("parses");
+        assert_eq!(a, b);
+        // Auto-detection picks the right parser for both.
+        assert_eq!(TraceFile::parse(jsonl).expect("auto"), a);
+        assert_eq!(TraceFile::parse(SAMPLE_CSV).expect("auto"), b);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_with_pinned_messages() {
+        let cases: &[(&str, &str)] = &[
+            (
+                "0,cg-sim,1,3,1,gpu,100",
+                "trace line 1: expected 8 fields, got 7",
+            ),
+            (
+                "0,warp-drive,1,3,1,gpu,100,ok",
+                "trace line 1: bad class 'warp-drive'",
+            ),
+            (
+                "0,cg-sim,1,3,1,sideways,100,ok",
+                "trace line 1: bad affinity 'sideways'",
+            ),
+            (
+                "0,cg-sim,1,3,1,gpu,100,maybe",
+                "trace line 1: bad outcome 'maybe'",
+            ),
+            (
+                "zero,cg-sim,1,3,1,gpu,100,ok",
+                "trace line 1: bad at_us 'zero'",
+            ),
+            (
+                "5,cg-sim,1,3,1,gpu,100,ok\n1,cg-sim,1,3,1,gpu,100,ok",
+                "trace line 2: arrivals must be non-decreasing",
+            ),
+        ];
+        for (text, msg) in cases {
+            let err = TraceFile::parse_csv(text).expect_err("must fail");
+            assert_eq!(err.to_string(), *msg, "for input {text:?}");
+        }
+        let jerr = TraceFile::parse_jsonl("{\"at_us\":0}").expect_err("must fail");
+        assert_eq!(
+            jerr.to_string(),
+            "trace line 1: malformed json: missing key 'class'"
+        );
+        let jerr = TraceFile::parse_jsonl("[1,2]").expect_err("must fail");
+        assert_eq!(
+            jerr.to_string(),
+            "trace line 1: malformed json: not an object"
+        );
+    }
+
+    #[test]
+    fn replayer_is_cadence_invariant() {
+        let t = TraceFile::parse_csv(SAMPLE_CSV).expect("parses");
+        let bulk = t.clone().into_replayer().drain_all();
+        assert_eq!(bulk.len(), 3);
+        let mut stepped = t.into_replayer();
+        let mut out = Vec::new();
+        for us in [0u64, 100, 600_000, 600_001, 2_000_000] {
+            while let Some(j) = stepped.pop_due(SimTime::from_micros(us)) {
+                out.push(j);
+            }
+        }
+        assert_eq!(out, bulk);
+        assert_eq!(stepped.next_at(), None);
+    }
+
+    #[test]
+    fn sched_log_submissions_convert() {
+        let mut log = SchedLog::new();
+        log.record_submit(
+            SimTime::from_secs(1),
+            &JobSpec::new(
+                JobClass::CgSim,
+                JobShape::sim_standard(),
+                SimDuration::from_mins(10),
+            ),
+        );
+        log.record_cancel(sched::JobId(0));
+        log.record_fail_node(SimTime::from_secs(2), 1);
+        let t = TraceFile::from_sched_log(&log);
+        assert_eq!(t.len(), 1); // control events are not workload
+        assert_eq!(t.jobs()[0].at, SimTime::from_secs(1));
+    }
+}

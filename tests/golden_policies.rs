@@ -1,0 +1,144 @@
+//! Golden snapshots of the policy zoo under adversarial workloads: one
+//! seeded synthetic mix per queue policy, driven through a bare
+//! scheduler engine and rendered to a canonical text form.
+//!
+//! The generators are seed-stable and cadence-invariant and the engine
+//! is a deterministic DES, so every snapshot is byte-reproducible. Any
+//! change to a policy's ordering decisions, the backfill reservation
+//! arithmetic, or a generator's draw sequence shows up as a golden
+//! diff with the exact counters that moved.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_policies
+//! git diff tests/goldens/   # review every changed row, then commit
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use resources::{MachineSpec, MatchPolicy, NodeSpec, ResourceGraph};
+use sched::{Costs, Coupling, SchedEngine, SchedPolicy};
+use simcore::SimTime;
+use workload::WorkloadSpec;
+
+/// The adversarial mix each policy is pinned against — the pairing
+/// that exercises its distinctive behavior. Wide-starves-narrow shows
+/// FCFS's head-of-line starvation and both backfill flavors' fills;
+/// bursty stresses fair-share's class balancing under volleys;
+/// hetero's shape palette spans both hierarchical children.
+const PAIRINGS: &[(SchedPolicy, WorkloadSpec)] = &[
+    (SchedPolicy::Fcfs, WorkloadSpec::WideStarvesNarrow),
+    (SchedPolicy::BackfillEasy, WorkloadSpec::WideStarvesNarrow),
+    (
+        SchedPolicy::BackfillConservative,
+        WorkloadSpec::WideStarvesNarrow,
+    ),
+    (SchedPolicy::FairShare, WorkloadSpec::Bursty),
+    (SchedPolicy::Hierarchical, WorkloadSpec::Hetero),
+];
+
+const NODES: u32 = 72;
+const HOURS: u64 = 4;
+const SEED: u64 = 2021;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// Drives one policy × mix cell exactly like the bench matrix does:
+/// submit arrivals as they come due, advance on workload arrivals and
+/// virtual-minute boundaries, stop at the horizon.
+fn render_cell(policy: SchedPolicy, spec: &WorkloadSpec) -> String {
+    let mut engine = SchedEngine::new(
+        ResourceGraph::new(MachineSpec::custom("golden", NODES, NodeSpec::summit())),
+        MatchPolicy::FirstMatch,
+        Coupling::Asynchronous,
+        Costs::summit_campaign(),
+    );
+    engine.set_sched_policy(policy);
+    let mut src = spec
+        .build(SEED, NODES, HOURS * 180)
+        .expect("synthetic mixes never fail to build");
+    let end = SimTime::from_hours(HOURS);
+    let mut now = SimTime::ZERO;
+    loop {
+        let minute = SimTime::from_micros((now.as_micros() / 60_000_000 + 1) * 60_000_000);
+        let next = match src.next_at() {
+            Some(t) if t <= end => t.min(minute),
+            _ => minute,
+        };
+        if next > end {
+            break;
+        }
+        now = next;
+        engine.advance(now);
+        while let Some(job) = src.pop_due(now) {
+            engine.submit(job.spec, job.at);
+        }
+    }
+    engine.advance(end);
+
+    let stats = engine.stats();
+    let (running, pending) = engine.totals();
+    let (gpus_used, gpus_total) = engine.graph().gpu_usage();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# policy={} workload={} nodes={NODES} hours={HOURS} seed={SEED}",
+        policy.name(),
+        spec.name()
+    );
+    let _ = writeln!(
+        out,
+        "submitted={} placed={} completed={} failed={} canceled={}",
+        stats.submitted, stats.placed, stats.completed, stats.failed, stats.canceled
+    );
+    let _ = writeln!(
+        out,
+        "match_misses={} backfills={} running={running} pending={pending} gpus={gpus_used}/{gpus_total}",
+        stats.match_misses, stats.backfills
+    );
+    out.push_str("# class\tcount\tmean-wait-us\tmax-wait-us\n");
+    for (class, w) in engine.class_waits() {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            class.label(),
+            w.count,
+            w.mean_us(),
+            w.max_us
+        );
+    }
+    out
+}
+
+#[test]
+fn policy_zoo_adversarial_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let mut failures = Vec::new();
+    for (policy, spec) in PAIRINGS {
+        let rendered = render_cell(*policy, spec);
+        let path = goldens_dir().join(format!("policy_{}.txt", policy.name()));
+        if update {
+            std::fs::write(&path, &rendered).expect("write golden");
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run with UPDATE_GOLDENS=1",
+                path.display()
+            )
+        });
+        if committed != rendered {
+            failures.push(format!(
+                "golden mismatch for {}:\n--- committed\n{committed}\n--- rendered\n{rendered}",
+                path.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
